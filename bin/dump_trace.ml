@@ -1,0 +1,12 @@
+module W = Witcher
+let () =
+  let store = Stores.Fast_fair.fixed () in
+  let module S = (val store) in
+  let wl = W.Workload.no_scan { W.Workload.default with n_ops = 150 } in
+  let wl = { wl with p_scan = 0.05; p_query = wl.p_query -. 0.05 } in
+  ignore wl;
+  let ops = W.Workload.generate { W.Workload.default with n_ops = 150 } in
+  let r = W.Driver.record (module S) ops in
+  for i = 440 to 500 do
+    Format.printf "%a@." Nvm.Trace.pp_event (Nvm.Trace.get r.trace i)
+  done
