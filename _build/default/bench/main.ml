@@ -1,0 +1,334 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7) against the simulated-NVM reproduction, plus Bechamel
+   micro-benchmarks for the pipeline stages.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table5 fig4  # selected sections
+     WITCHER_OPS=500 dune exec bench/main.exe # larger workloads
+
+   The paper ran 2,000-operation test cases per program on a 32-core Xeon
+   for hours; the default here is 200 operations so the full suite runs
+   in minutes. Shapes, not absolute numbers, are the reproduction target
+   (see EXPERIMENTS.md). *)
+
+module W = Witcher
+module R = Stores.Registry
+
+let n_ops =
+  try int_of_string (Sys.getenv "WITCHER_OPS") with _ -> 200
+
+let engine_cfg =
+  { W.Engine.default_cfg with
+    workload = { W.Workload.default with n_ops } }
+
+let line = String.make 118 '-'
+
+let section name =
+  Printf.printf "\n%s\n== %s\n%s\n" line name line
+
+(* memoize engine runs: several sections reuse them *)
+let results : (string, W.Engine.result) Hashtbl.t = Hashtbl.create 32
+let recorded : (string, W.Driver.recorded) Hashtbl.t = Hashtbl.create 32
+
+let run_store (e : R.entry) =
+  match Hashtbl.find_opt results e.name with
+  | Some r -> r
+  | None ->
+    let r = W.Engine.run ~cfg:engine_cfg (e.buggy ()) in
+    Hashtbl.replace results e.name r;
+    r
+
+let record_store (e : R.entry) =
+  match Hashtbl.find_opt recorded e.name with
+  | Some r -> r
+  | None ->
+    let module S = (val e.buggy ()) in
+    let wl =
+      if S.supports_scan then { W.Workload.default with n_ops }
+      else W.Workload.no_scan { W.Workload.default with n_ops }
+    in
+    let r = W.Driver.record (module S) (W.Workload.generate wl) in
+    Hashtbl.replace recorded e.name r;
+    r
+
+(* --- Table 1 & 2: static comparisons --- *)
+
+let table1 () =
+  section "Table 1: comparison with existing crash-consistency testing tools";
+  print_endline (W.Report.table1 ())
+
+let table2 () =
+  section "Table 2: likely-correctness condition inference rules";
+  print_endline (W.Report.table2 ());
+  (* live demonstration: the rules firing on the Level-Hashing trace *)
+  let e = Option.get (R.find "level-hash") in
+  let r = record_store e in
+  let conds = W.Infer.infer r.trace in
+  Printf.printf
+    "\nLive on level-hash (%d ops): %d ordering conditions (PO1+PO2+PO3), \
+     %d guardians => %d atomicity conditions\n"
+    n_ops (W.Infer.n_ordering conds) (W.Infer.n_guardians conds)
+    (W.Infer.n_atomicity conds)
+
+(* --- Table 3: the tested programs --- *)
+
+let table3 () =
+  section "Table 3: tested NVM programs";
+  Printf.printf "%-16s | %-13s | %-4s | %-22s | %s\n" "Program" "Group" "Lib"
+    "Core NVM construct" "Seeded paper bug ids";
+  print_endline line;
+  List.iter
+    (fun (e : R.entry) ->
+       Printf.printf "%-16s | %-13s | %-4s | %-22s | %s\n" e.name
+         (R.group_name e.group)
+         (match e.lib with `LL -> "LL" | `TX -> "TX")
+         e.construct
+         (String.concat "," (List.map string_of_int e.paper_bug_ids)))
+    R.all
+
+(* --- Table 4: detected correctness bugs --- *)
+
+let table4 () =
+  section "Table 4: correctness bugs discovered by Witcher (root causes)";
+  let total_co = ref 0 and total_ca = ref 0 in
+  List.iter
+    (fun (e : R.entry) ->
+       if e.group <> R.Non_kv then begin
+         let r = run_store e in
+         total_co := !total_co + r.c_o;
+         total_ca := !total_ca + r.c_a;
+         if r.bug_reports <> [] then begin
+           Printf.printf "\n%s (seeded paper bugs: %s) -> %d C-O, %d C-A\n"
+             e.name
+             (String.concat "," (List.map string_of_int e.paper_bug_ids))
+             r.c_o r.c_a;
+           List.iteri
+             (fun i (rep : W.Cluster.report) ->
+                Printf.printf "  %2d. %s\n" (i + 1)
+                  (Fmt.str "%a" W.Cluster.pp_report rep))
+             r.bug_reports
+         end
+       end)
+    R.all;
+  Printf.printf "\nTotal: %d C-O + %d C-A root causes across the fleet \
+                 (paper: 25 C-O + 22 C-A from 2000-op runs)\n"
+    !total_co !total_ca
+
+(* --- Table 5: per-store statistics --- *)
+
+let table5 () =
+  section "Table 5: detected bugs and per-store Witcher statistics";
+  print_endline (W.Report.result_header ());
+  print_endline line;
+  let tot = Array.make 12 0 in
+  List.iter
+    (fun (e : R.entry) ->
+       let r = run_store e in
+       print_endline (W.Report.result_row r);
+       let p n i = tot.(i) <- tot.(i) + n in
+       p r.c_o 0; p r.c_a 1;
+       p (W.Perf.n_bugs r.perf.p_u) 2;
+       p (W.Perf.n_bugs r.perf.p_efl) 3;
+       p (W.Perf.n_bugs r.perf.p_efe) 4;
+       p (W.Perf.n_bugs r.perf.p_el) 5;
+       p r.n_ord_conds 6; p r.n_atom_conds 7;
+       p r.images_generated 8; p r.images_tested 9;
+       p r.n_mismatch 10; p r.n_clusters 11)
+    R.all;
+  print_endline line;
+  Printf.printf
+    "%-18s | %4d %4d | %4d %5d %5d %4d | %9d %9d | %8d %8d %8d | %8d |\n"
+    "Total" tot.(0) tot.(1) tot.(2) tot.(3) tot.(4) tot.(5) tot.(6) tot.(7)
+    tot.(8) tot.(9) tot.(10) tot.(11);
+  (* negative control: fixed variants must be clean *)
+  Printf.printf "\nFixed-variant control (all must report 0 correctness bugs):\n";
+  List.iter
+    (fun (e : R.entry) ->
+       let r = W.Engine.run ~cfg:engine_cfg (e.fixed ()) in
+       Printf.printf "  %-18s C-O=%d C-A=%d %s\n" e.name r.c_o r.c_a
+         (if r.c_o + r.c_a = 0 then "[clean]" else "[UNEXPECTED]"))
+    R.all
+
+(* --- Figure 4: test-space comparison with Yat --- *)
+
+let fig4 () =
+  section "Figure 4: crash-state test space, Yat (exhaustive) vs Witcher";
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       let rec_ = record_store e in
+       let r = run_store e in
+       let series =
+         W.Yat.estimate ~trace:rec_.trace ~pool_size:rec_.pool_size
+           ~per_op_images:r.per_op_images ~n_ops
+       in
+       print_endline (W.Report.figure4 ~name series ~step:(max 1 (n_ops / 12)));
+       let last = Array.length series.yat_log10 - 1 in
+       Printf.printf
+         "  => Yat would validate ~10^%.0f states; Witcher tests %d images \
+          (paper: 10^31 vs ~5.5x10^4 for level-hash at 2000 ops)\n\n"
+         series.yat_log10.(last) series.witcher.(last))
+    [ "level-hash"; "fast-fair"; "cceh" ]
+
+(* --- 7.5: random state sampling baseline --- *)
+
+let random_baseline () =
+  section "Random NVM-state sampling vs likely-correctness-condition pruning (7.5)";
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       let rec_ = record_store e in
+       let r = run_store e in
+       let module S = (val e.buggy ()) in
+       let checker =
+         W.Equiv.create (module S) ~ops:rec_.ops ~committed:rec_.outputs
+       in
+       let check ~img ~crash_op = W.Equiv.check checker ~img ~crash_op in
+       let rnd =
+         W.Random_explore.run ~trace:rec_.trace ~pool_size:rec_.pool_size
+           ~samples_per_fence:1 ~check ()
+       in
+       Printf.printf
+         "%-12s witcher: %4d images -> %3d mismatches, %2d root causes | random: %4d images -> %3d mismatches at %d crash sites\n"
+         name r.images_tested r.n_mismatch (r.c_o + r.c_a) rnd.sampled
+         rnd.mismatches rnd.distinct_crash_sites)
+    [ "level-hash"; "fast-fair"; "cceh" ];
+  print_endline
+    "\n(The paper sampled 100M random states per program for ~a week and\n\
+     \ found at most 1-2 of Witcher's bugs; random mismatch counts here are\n\
+     \ dominated by a few shallow states while guided images pinpoint\n\
+     \ distinct root causes.)"
+
+(* --- 7.6: comparison with Agamotto / PMTest oracles --- *)
+
+let compare_tools () =
+  section "Tool comparison: universal / annotation oracles vs output equivalence (7.6)";
+  let stores = [ "b-tree"; "rb-tree"; "hashmap-atomic"; "p-clht"; "memcached"; "redis" ] in
+  Printf.printf "%-16s | %22s | %30s | %s\n" "Program"
+    "Witcher (corr., perf)" "Agamotto-style (universal)" "notes";
+  print_endline line;
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       let rec_ = record_store e in
+       let r = run_store e in
+       let aga = W.Baselines.agamotto rec_.trace in
+       let perf_bugs =
+         W.Perf.n_bugs r.perf.p_u + W.Perf.n_bugs r.perf.p_efl
+         + W.Perf.n_bugs r.perf.p_efe + W.Perf.n_bugs r.perf.p_el
+       in
+       Printf.printf "%-16s | %11d, %8d | miss-persist:%3d miss-log:%3d | %s\n"
+         name (r.c_o + r.c_a) perf_bugs
+         (List.length aga.missing_persist_sites)
+         (List.length aga.missing_log_sites)
+         (if r.c_o + r.c_a > 0
+            && aga.missing_persist_sites = [] && aga.missing_log_sites = []
+          then "app-specific bugs invisible to universal oracles"
+          else ""))
+    stores;
+  (* the Redis benign-store false positive *)
+  let e = Option.get (R.find "redis") in
+  let rec_ = record_store e in
+  let anns = [ W.Baselines.In_tx { sid = "redis:init.zero_root" } ] in
+  let viol = W.Baselines.pmtest rec_.trace ~pool_size:rec_.pool_size ~annotations:anns in
+  let r = run_store e in
+  Printf.printf
+    "\nPMTest-style annotation on redis:init.zero_root: %d violation(s) flagged.\n\
+     Witcher on the same trace: %d correctness bugs - the unprotected store\n\
+     rewrites zeroes with zeroes, so output equivalence prunes the false\n\
+     positive exactly as in 7.6.\n"
+    (List.length viol) (r.c_o + r.c_a)
+
+(* --- 7.7: non-key-value programs --- *)
+
+let nonkv () =
+  section "Non-key-value NVM programs: persistent array and queue (7.7)";
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       let r = run_store e in
+       Printf.printf "%s\n" (W.Report.result_row r);
+       List.iteri
+         (fun i (rep : W.Cluster.report) ->
+            Printf.printf "  %2d. %s\n" (i + 1)
+              (Fmt.str "%a" W.Cluster.pp_report rep))
+         r.bug_reports)
+    [ "p-array"; "p-queue" ];
+  print_endline
+    "(The paper found one known bug in the persistent array and none in\n\
+     the queue; the array's realloc-ordering defect is the seeded one.)"
+
+(* --- Bechamel micro-benchmarks: pipeline stage costs --- *)
+
+let micro () =
+  section "Pipeline stage micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let e = Option.get (R.find "level-hash") in
+  let small_ops =
+    W.Workload.generate (W.Workload.no_scan { W.Workload.default with n_ops = 50 })
+  in
+  let rec_ = W.Driver.record (e.buggy ()) small_ops in
+  let conds = W.Infer.infer rec_.trace in
+  let t_record =
+    Test.make ~name:"record-trace"
+      (Staged.stage (fun () -> ignore (W.Driver.record (e.buggy ()) small_ops)))
+  in
+  let t_infer =
+    Test.make ~name:"infer-conditions"
+      (Staged.stage (fun () -> ignore (W.Infer.infer rec_.trace)))
+  in
+  let t_perf =
+    Test.make ~name:"perf-detect"
+      (Staged.stage (fun () -> ignore (W.Perf.detect rec_.trace)))
+  in
+  let t_gen =
+    Test.make ~name:"crash-gen+equiv"
+      (Staged.stage (fun () ->
+           let store = e.buggy () in
+           let checker =
+             W.Equiv.create store ~ops:rec_.ops ~committed:rec_.outputs
+           in
+           ignore
+             (W.Crash_gen.generate
+                ~cfg:{ W.Crash_gen.default_cfg with max_images = 50 }
+                ~trace:rec_.trace ~conds ~pool_size:rec_.pool_size
+                ~on_image:(fun img ->
+                    ignore (W.Equiv.check checker ~img:img.img ~crash_op:img.crash_op);
+                    `Continue)
+                ())))
+  in
+  let grouped =
+    Test.make_grouped ~name:"witcher" [ t_record; t_infer; t_perf; t_gen ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name v ->
+       match Analyze.OLS.estimates v with
+       | Some (est :: _) ->
+         Printf.printf "  %-28s %12.0f ns/run (%.3f ms)\n" name est (est /. 1e6)
+       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    res
+
+let sections =
+  [ "table1", table1; "table2", table2; "table3", table3; "table4", table4;
+    "table5", table5; "fig4", fig4; "random", random_baseline;
+    "compare", compare_tools; "nonkv", nonkv; "micro", micro ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let chosen = if args = [] then List.map fst sections else args in
+  Printf.printf "Witcher reproduction benchmarks (%d-op workloads; set \
+                 WITCHER_OPS to change)\n" n_ops;
+  List.iter
+    (fun name ->
+       match List.assoc_opt name sections with
+       | Some f -> f ()
+       | None -> Printf.printf "unknown section %S\n" name)
+    chosen

@@ -1,0 +1,1 @@
+bin/debug_images.ml: Array Filename Nvm Printf Stores String Sys Witcher

@@ -1,0 +1,1 @@
+bin/witcher_cli.ml: Arg Cmd Cmdliner Fmt Format List Nvm Printf Stores Term Witcher

@@ -1,0 +1,1 @@
+bin/witcher_cli.mli:

@@ -1,0 +1,144 @@
+(* The witcher command-line tool: run the crash-consistency pipeline on
+   any registered store, inspect traces, or list the registry.
+
+     witcher list
+     witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v]
+     witcher trace -s cceh -n 20 [--head 80]
+     witcher perf -s memcached -n 200
+*)
+
+module W = Witcher
+module R = Stores.Registry
+
+let store_arg =
+  let open Cmdliner in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "store" ] ~docv:"NAME"
+        ~doc:"Store to test (see $(b,witcher list)).")
+
+let ops_arg =
+  let open Cmdliner in
+  Arg.(value & opt int 200 & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations in the test case.")
+
+let seed_arg =
+  let open Cmdliner in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let fixed_arg =
+  let open Cmdliner in
+  Arg.(value & flag & info [ "fixed" ] ~doc:"Test the repaired variant instead of the as-published one.")
+
+let verbose_arg =
+  let open Cmdliner in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every failing cluster, not just root causes.")
+
+let max_images_arg =
+  let open Cmdliner in
+  Arg.(value & opt int 4000 & info [ "max-images" ] ~docv:"N" ~doc:"Crash-image test budget.")
+
+let lookup name =
+  match R.find name with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown store %S; try `witcher list`\n" name;
+    exit 2
+
+let engine_cfg ~ops ~seed ~max_images =
+  { W.Engine.default_cfg with
+    workload = { W.Workload.default with n_ops = ops; seed };
+    crash = { W.Crash_gen.default_cfg with max_images } }
+
+let list_cmd () =
+  Printf.printf "%-16s %-13s %-4s %s\n" "name" "group" "lib" "construct";
+  List.iter
+    (fun (e : R.entry) ->
+       Printf.printf "%-16s %-13s %-4s %s\n" e.name (R.group_name e.group)
+         (match e.lib with `LL -> "LL" | `TX -> "TX")
+         e.construct)
+    R.all
+
+let run_cmd store fixed ops seed max_images verbose =
+  let e = lookup store in
+  let instance = if fixed then e.fixed () else e.buggy () in
+  let r = W.Engine.run ~cfg:(engine_cfg ~ops ~seed ~max_images) instance in
+  print_endline (W.Report.result_header ());
+  print_endline (W.Report.result_row r);
+  print_newline ();
+  if r.bug_reports = [] then
+    print_endline "No crash-consistency bugs detected."
+  else begin
+    Printf.printf "%d correctness root cause(s):\n" (List.length r.bug_reports);
+    List.iteri
+      (fun i rep ->
+         Printf.printf "%2d. %s\n" (i + 1) (Fmt.str "%a" W.Cluster.pp_report rep))
+      r.bug_reports
+  end;
+  if verbose then begin
+    Printf.printf "\nAll %d clusters:\n" (List.length r.all_clusters);
+    List.iter
+      (fun rep -> Printf.printf "  %s\n" (Fmt.str "%a" W.Cluster.pp_report rep))
+      r.all_clusters
+  end;
+  print_newline ();
+  print_string (W.Report.bug_list r)
+
+let trace_cmd store ops seed head =
+  let e = lookup store in
+  let module S = (val e.buggy ()) in
+  let wl = { W.Workload.default with n_ops = ops; seed } in
+  let wl = if S.supports_scan then wl else W.Workload.no_scan wl in
+  let r = W.Driver.record (module S) (W.Workload.generate wl) in
+  let loads, stores, flushes, fences = Nvm.Trace.stats r.trace in
+  Printf.printf "trace: %d events (%d loads, %d stores, %d flushes, %d fences)\n"
+    (Nvm.Trace.length r.trace) loads stores flushes fences;
+  let n = min head (Nvm.Trace.length r.trace) in
+  for i = 0 to n - 1 do
+    Format.printf "%a@." Nvm.Trace.pp_event (Nvm.Trace.get r.trace i)
+  done
+
+let perf_cmd store ops seed =
+  let e = lookup store in
+  let module S = (val e.buggy ()) in
+  let wl = { W.Workload.default with n_ops = ops; seed } in
+  let wl = if S.supports_scan then wl else W.Workload.no_scan wl in
+  let r = W.Driver.record (module S) (W.Workload.generate wl) in
+  let perf = W.Perf.detect r.trace in
+  List.iter
+    (fun (kind, c) ->
+       Printf.printf "%s: %d bug site(s), %d occurrence(s)\n" kind
+         (W.Perf.n_bugs c) (W.Perf.n_occurrences c);
+       List.iter
+         (fun (sid, n) -> Printf.printf "  %-48s x%d\n" sid n)
+         (W.Perf.bug_sites c))
+    [ "P-U (unpersisted)", perf.p_u;
+      "P-EFL (extra flush)", perf.p_efl;
+      "P-EFE (extra fence)", perf.p_efe;
+      "P-EL (extra logging)", perf.p_el ]
+
+open Cmdliner
+
+let list_t = Term.(const list_cmd $ const ())
+let run_t =
+  Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
+        $ max_images_arg $ verbose_arg)
+let trace_t =
+  let head =
+    Arg.(value & opt int 60 & info [ "head" ] ~docv:"N" ~doc:"Events to print.")
+  in
+  Term.(const trace_cmd $ store_arg $ ops_arg $ seed_arg $ head)
+let perf_t = Term.(const perf_cmd $ store_arg $ ops_arg $ seed_arg)
+
+let cmds =
+  [ Cmd.v (Cmd.info "list" ~doc:"List the registered NVM programs.") list_t;
+    Cmd.v (Cmd.info "run" ~doc:"Run the full Witcher pipeline on a store.") run_t;
+    Cmd.v (Cmd.info "trace" ~doc:"Record and print an instrumented trace.") trace_t;
+    Cmd.v (Cmd.info "perf" ~doc:"Run only the performance-bug detector.") perf_t ]
+
+let () =
+  let info =
+    Cmd.info "witcher" ~version:"1.0.0"
+      ~doc:"Systematic crash-consistency testing for (simulated) NVM key-value stores"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/find_level_hash_bugs.ml: Array List Nvm Pmem Printf Stores String Witcher

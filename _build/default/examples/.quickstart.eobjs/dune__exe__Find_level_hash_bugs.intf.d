@@ -1,0 +1,1 @@
+examples/find_level_hash_bugs.mli:

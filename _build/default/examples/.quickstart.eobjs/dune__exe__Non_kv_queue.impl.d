@@ -1,0 +1,1 @@
+examples/non_kv_queue.ml: Fmt List Option Printf Stores Witcher

@@ -1,0 +1,1 @@
+examples/non_kv_queue.mli:

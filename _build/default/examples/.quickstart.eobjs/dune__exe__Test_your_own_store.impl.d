@@ -1,0 +1,1 @@
+examples/test_your_own_store.ml: Ctx Fmt List Nvm Pmdk Printf String Tv Witcher

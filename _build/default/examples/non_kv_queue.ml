@@ -1,0 +1,25 @@
+(* Scenario: non-key-value programs (§7.7). The persistent array and
+   queue use print-style operations as the output-equivalence anchor.
+   The array carries the known realloc-ordering bug; the queue is clean. *)
+
+module W = Witcher
+
+let () =
+  print_endline "Non-KV programs: persistent array (buggy) and queue (clean)\n";
+  let cfg =
+    { W.Engine.default_cfg with
+      workload = { W.Workload.default with n_ops = 150; p_scan = 0.15;
+                   p_query = 0.15 } }
+  in
+  List.iter
+    (fun store_name ->
+       let e = Option.get (Stores.Registry.find store_name) in
+       let r = W.Engine.run ~cfg (e.buggy ()) in
+       Printf.printf "%s\n" (W.Report.result_row r);
+       List.iteri
+         (fun i rep ->
+            Printf.printf "  %2d. %s\n" (i + 1)
+              (Fmt.str "%a" W.Cluster.pp_report rep))
+         r.bug_reports;
+       print_newline ())
+    [ "p-array"; "p-queue" ]

@@ -1,0 +1,31 @@
+(* Scenario: performance-bug audit (§4.5). Runs only the trace-based
+   performance detector over the Memcached port and prints every
+   unpersisted / extra-flush / extra-fence / extra-logging site — the
+   paper's P-U / P-EFL / P-EFE / P-EL classes — without any crash
+   simulation. *)
+
+module W = Witcher
+
+let () =
+  print_endline "Performance-bug audit of the Memcached port\n";
+  let module S = (val Stores.Memcache_like.buggy ()) in
+  let ops =
+    W.Workload.generate (W.Workload.no_scan { W.Workload.default with n_ops = 300 })
+  in
+  let recorded = W.Driver.record (module S) ops in
+  let perf = W.Perf.detect recorded.trace in
+  List.iter
+    (fun (label, c) ->
+       Printf.printf "%s: %d site(s), %d dynamic occurrence(s)\n" label
+         (W.Perf.n_bugs c) (W.Perf.n_occurrences c);
+       List.iter
+         (fun (sid, n) -> Printf.printf "    %-44s x%d\n" sid n)
+         (W.Perf.bug_sites c);
+       print_newline ())
+    [ "P-U   unpersisted NVM data (belongs in DRAM)", perf.p_u;
+      "P-EFL extra flushes", perf.p_efl;
+      "P-EFE extra fences", perf.p_efe;
+      "P-EL  extra undo logging", perf.p_el ];
+  print_endline
+    "(The paper found 29 unpersisted statistics counters in pmem-Memcached;\n\
+     the port reproduces that stats page.)"

@@ -1,0 +1,134 @@
+(* Scenario: test a store you wrote yourself.
+
+   Witcher's public interface for a system under test is
+   Witcher.Store_intf.S: creation, post-crash open (recovery), and the
+   key-value operations, all performed through the instrumented Nvm.Ctx.
+   This example implements a small persistent "record log" store inline:
+   inserts append (key, value) records guarded by a persisted count, and
+   updates overwrite the newest record's value in place — but the update
+   path only fences, never flushes (a classic missing persistence
+   primitive). The pipeline finds it without any annotation. *)
+
+module W = Witcher
+open Nvm
+
+module Naive_log = struct
+  let name = "naive-log"
+  let pool_size = 1024 * 1024
+  let supports_scan = false
+
+  type t = { ctx : Ctx.t; pool : Pmdk.Pool.t }
+
+  (* root object: count(8); records at a fixed arena: (key 8 | value 8) *)
+
+  let create ctx =
+    let pool = Pmdk.Pool.create ctx ~root_size:16 in
+    { ctx; pool }
+
+  let open_ ctx = { ctx; pool = Pmdk.Pool.open_ ctx }
+
+  let count t = Ctx.read_u64 t.ctx ~sid:"log:count" (Pmdk.Pool.root t.pool)
+  let arena t = Pmdk.Pool.root t.pool + 64
+  let rec_addr t i = arena t + (i * 16)
+
+  let pad v =
+    if String.length v >= 8 then String.sub v 0 8
+    else v ^ String.make (8 - String.length v) '\000'
+
+  let append t k v =
+    let c = count t in
+    let i = Tv.value c in
+    let a = rec_addr t i in
+    Ctx.write_u64 t.ctx ~sid:"log:rec.key" a (Tv.const k);
+    Ctx.write_bytes t.ctx ~sid:"log:rec.value" (a + 8) (Tv.blob (pad v));
+    Ctx.persist t.ctx ~sid:"log:rec.persist" a 16;
+    Ctx.write_u64 t.ctx ~sid:"log:count.bump" (Pmdk.Pool.root t.pool)
+      (Tv.add c Tv.one);
+    Ctx.persist t.ctx ~sid:"log:count.persist" (Pmdk.Pool.root t.pool) 8
+
+  (* BUG: the in-place overwrite is fenced but never flushed; the new
+     value can evaporate on crash long after the operation returned. *)
+  let overwrite t i v =
+    Ctx.write_bytes t.ctx ~sid:"log:update.value" (rec_addr t i + 8)
+      (Tv.blob (pad v));
+    Ctx.fence t.ctx ~sid:"log:update.fence_only"
+
+  (* Newest record below the count wins. Reads follow the guarded-read
+     discipline: the value is read only under the key comparison, so
+     inference learns P(value) -hb-> W(key) and P(record) -hb-> W(count). *)
+  let find t k =
+    let c = count t in
+    let n = Tv.value c in
+    Ctx.with_guard t.ctx (Tv.taint c) (fun () ->
+        let rec go i best =
+          if i >= n then best
+          else begin
+            let key = Ctx.read_u64 t.ctx ~sid:"log:find.key" (rec_addr t i) in
+            let best =
+              Ctx.if_ t.ctx (Tv.eq key (Tv.const k))
+                ~then_:(fun () ->
+                    let raw =
+                      Tv.blob_value
+                        (Ctx.read_bytes t.ctx ~sid:"log:find.value"
+                           (rec_addr t i + 8) 8)
+                    in
+                    let rec len j =
+                      if j > 0 && raw.[j - 1] = '\000' then len (j - 1) else j
+                    in
+                    Some (String.sub raw 0 (len 8)))
+                ~else_:(fun () -> best)
+            in
+            go (i + 1) best
+          end
+        in
+        go 0 None)
+
+  (* like find, but returning the record index *)
+  let find_index t k =
+    let c = count t in
+    let n = Tv.value c in
+    Ctx.with_guard t.ctx (Tv.taint c) (fun () ->
+        let rec go i best =
+          if i >= n then best
+          else begin
+            let key = Ctx.read_u64 t.ctx ~sid:"log:findi.key" (rec_addr t i) in
+            let best = if Tv.value key = k then Some i else best in
+            go (i + 1) best
+          end
+        in
+        go 0 None)
+
+  let exec t op =
+    match op with
+    | W.Op.Insert (k, v) -> append t k v; W.Output.Ok
+    | W.Op.Update (k, v) ->
+      (match find_index t k with
+       | Some i when find t k <> Some "" -> overwrite t i v; W.Output.Ok
+       | Some _ | None -> W.Output.Not_found)
+    | W.Op.Delete k ->
+      (match find t k with
+       | Some v when v <> "" -> append t k ""; W.Output.Ok
+       | Some _ | None -> W.Output.Not_found)
+    | W.Op.Query k ->
+      (match find t k with
+       | Some v when v <> "" -> W.Output.Found v
+       | Some _ | None -> W.Output.Not_found)
+    | W.Op.Scan _ -> W.Output.Fail "unsupported"
+end
+
+let () =
+  print_endline "Testing a user-defined store (a naive append log)\n";
+  let cfg =
+    { W.Engine.default_cfg with
+      workload = W.Workload.no_scan { W.Workload.default with n_ops = 100 } }
+  in
+  let r = W.Engine.run ~cfg (module Naive_log) in
+  Printf.printf "%s\n%s\n\n" (W.Report.result_header ()) (W.Report.result_row r);
+  List.iteri
+    (fun i rep ->
+       Printf.printf "%2d. %s\n" (i + 1) (Fmt.str "%a" W.Cluster.pp_report rep))
+    r.bug_reports;
+  print_endline
+    "\nThe unflushed in-place update is caught without any annotation: a\n\
+     crash image taken at a later operation's fence drops the volatile\n\
+     value, and the resumed run diverges from both oracles."

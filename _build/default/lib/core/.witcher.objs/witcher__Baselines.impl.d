@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Crash_sim Hashtbl Infer List Nvm Option Perf Pmdk Pmem String Trace

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Crash_gen Equiv Fmt Hashtbl Infer List Output String

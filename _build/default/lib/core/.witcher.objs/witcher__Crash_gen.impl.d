@@ -1,0 +1,1 @@
+lib/core/crash_gen.ml: Crash_sim Hashtbl Infer List Nvm Option Pmem Trace

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Ctx List Nvm Op Output Pmdk Pmem Printexc Printf Store_intf Trace

@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Array Driver Hashtbl List Op Output Store_intf

@@ -1,0 +1,1 @@
+lib/core/perf.ml: Hashtbl List Nvm Option

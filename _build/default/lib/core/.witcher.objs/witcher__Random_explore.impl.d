@@ -1,0 +1,1 @@
+lib/core/random_explore.ml: Crash_sim Equiv Hashtbl Nvm Pmem Random Trace

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Cluster Engine Fmt List Perf Printf String Yat

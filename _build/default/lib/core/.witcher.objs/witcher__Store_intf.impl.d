@@ -1,0 +1,1 @@
+lib/core/store_intf.ml: Nvm Op Output

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Hashtbl List Op Printf Random String

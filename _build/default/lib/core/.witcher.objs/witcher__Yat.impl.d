@@ -1,0 +1,1 @@
+lib/core/yat.ml: Array Crash_sim Hashtbl List Nvm Pmem Trace

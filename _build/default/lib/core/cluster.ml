@@ -1,0 +1,101 @@
+(* Bug-report clustering (§4.4). Many failing images share one root cause;
+   Witcher clusters them by operation type and execution path of the
+   crashed operation, and we additionally record the violated condition's
+   static sites, which lets the engine map clusters back to the seeded
+   ground-truth defects. *)
+
+type kind = C_ordering | C_atomicity
+
+type report = {
+  store_name : string;
+  kind : kind;
+  op_desc : string;         (* operation type of the crashed op *)
+  path_hash : int;
+  watch_sid : string;       (* persisted-too-early site *)
+  req_sid : string;         (* left-unpersisted / lost site *)
+  rule : string;
+  mutable count : int;      (* failing images in this cluster *)
+  example_crash_tid : int;
+  example_first_diff : int;
+  example_got : Output.t;
+  example_expected : Output.t;
+  crashed : bool;           (* resumption crashed visibly *)
+}
+
+type t = {
+  store_name : string;
+  clusters : (string * int * string * string, report) Hashtbl.t;
+}
+
+let create ~store_name = { store_name; clusters = Hashtbl.create 64 }
+
+let op_kind_of_desc desc =
+  match String.index_opt desc '(' with
+  | Some i -> String.sub desc 0 i
+  | None -> desc
+
+let add t ~(image : Crash_gen.image) ~op_desc ~(verdict : Equiv.verdict) =
+  match verdict with
+  | Equiv.Consistent -> ()
+  | Equiv.Inconsistent v ->
+    let watch_sid, req_sid = Crash_gen.violation_sids image.viol in
+    let kind, rule =
+      match image.viol with
+      | Crash_gen.Ordering o -> C_ordering, Infer.rule_name o.rule
+      | Crash_gen.Atomicity _ -> C_atomicity, "PA1"
+      | Crash_gen.Unpersisted_epoch _ -> C_ordering, "EPOCH"
+    in
+    let op_kind = op_kind_of_desc op_desc in
+    let key = (op_kind, image.path_hash, watch_sid, req_sid) in
+    match Hashtbl.find_opt t.clusters key with
+    | Some r -> r.count <- r.count + 1
+    | None ->
+      Hashtbl.add t.clusters key
+        { store_name = t.store_name; kind; op_desc = op_kind;
+          path_hash = image.path_hash; watch_sid; req_sid; rule;
+          count = 1;
+          example_crash_tid = image.crash_tid;
+          example_first_diff = v.first_diff;
+          example_got = v.got;
+          example_expected = v.expect_committed;
+          crashed = v.crashed }
+
+let reports t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.clusters []
+  |> List.sort (fun a b ->
+      compare (a.watch_sid, a.req_sid, a.op_desc) (b.watch_sid, b.req_sid, b.op_desc))
+
+let n_clusters t = Hashtbl.length t.clusters
+
+(* Distinct root causes: the static site that persisted too early (or
+   whose epoch vanished). Multiple clusters and site pairs share one root
+   cause (§7.4); this is the count comparable to the paper's Table 4/5
+   bug numbers. *)
+let root_causes t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ r ->
+       if not (Hashtbl.mem seen (r.kind, r.watch_sid)) then
+         Hashtbl.add seen (r.kind, r.watch_sid) r)
+    t.clusters;
+  Hashtbl.fold (fun _ r acc -> r :: acc) seen []
+  |> List.sort (fun a b -> compare (a.watch_sid, a.req_sid) (b.watch_sid, b.req_sid))
+
+(* Distinct static-site pairs, a tighter proxy for distinct root causes
+   than raw clusters (multiple clusters may share a root cause, §7.4). *)
+let site_pairs t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ r -> Hashtbl.replace seen (r.kind, r.watch_sid, r.req_sid) r)
+    t.clusters;
+  Hashtbl.fold (fun _ r acc -> r :: acc) seen []
+  |> List.sort (fun a b -> compare (a.watch_sid, a.req_sid) (b.watch_sid, b.req_sid))
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "[%s] %s %s op=%s crash@%d first_diff=op%d got=%a expected=%a%s@,   persisted-early: %s@,   unpersisted:     %s"
+    r.store_name
+    (match r.kind with C_ordering -> "C-O" | C_atomicity -> "C-A")
+    r.rule r.op_desc r.example_crash_tid r.example_first_diff
+    Output.pp r.example_got Output.pp r.example_expected
+    (if r.crashed then " [visible crash]" else "")
+    r.watch_sid r.req_sid

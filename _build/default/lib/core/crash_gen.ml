@@ -1,0 +1,276 @@
+(* Crash NVM image generation (§4.3). A second walk over the trace drives
+   the cache/NVM simulator; before executing each fence — the only points
+   where the guaranteed-persistent state changes — every likely-correctness
+   condition that a store of the ending epoch could violate is checked for
+   feasibility:
+
+   - ordering P(X) -hb-> W(Y): a store S_Y to the watched cell happened
+     this epoch; the latest store S_X to the required cell is not yet
+     guaranteed; persisting closure(S_Y) without S_X is feasible under
+     per-line prefix order. The image persists Y but not X.
+   - atomicity AP(X, Y): two stores to distinct guardian cells are both
+     unguaranteed before the fence; two images persist exactly one of
+     them.
+
+   Each feasible violation is materialized into a concrete pool image and
+   handed to [on_image] immediately (pipeline-fused with output
+   equivalence checking, so only one image is alive at a time).
+
+   Images are deduplicated by (crash point, extra persist-set) and capped
+   per static site pair, since thousands of dynamic violations share a
+   root cause (§4.4); generated-vs-tested counts are both reported. *)
+
+open Nvm
+
+type violation =
+  | Ordering of {
+      rule : Infer.rule;
+      watch_sid : string;   (* the store that persisted too early *)
+      req_sid : string;     (* the store left unpersisted *)
+      watch_tid : int;
+      req_tid : int;
+    }
+  | Atomicity of {
+      persisted_sid : string;
+      lost_sid : string;
+      persisted_tid : int;
+      lost_tid : int;
+    }
+  | Unpersisted_epoch of {
+      (* nothing of the current epoch was evicted: every dirty store is
+         lost at once — the state that exposes missing-persist and
+         premature-side-effect (e.g. free-before-unlink) bugs *)
+      fence_sid : string;
+      first_lost_sid : string;
+    }
+
+let violation_sids = function
+  | Ordering o -> (o.watch_sid, o.req_sid)
+  | Atomicity a -> (a.persisted_sid, a.lost_sid)
+  | Unpersisted_epoch u -> (u.fence_sid, u.first_lost_sid)
+
+type image = {
+  img : Pmem.t;
+  crash_tid : int;   (* tid of the fence we crash before *)
+  crash_op : int;    (* trace op index containing the crash *)
+  viol : violation;
+  path_hash : int;   (* execution path of the crashed op up to the crash *)
+}
+
+type stats = {
+  mutable candidates : int;      (* feasible violations found *)
+  mutable generated : int;       (* distinct images *)
+  mutable tested : int;          (* images passed to on_image (post-cap) *)
+  per_op_images : (int, int) Hashtbl.t;  (* op index -> images generated *)
+}
+
+type cfg = {
+  max_images : int;        (* global budget of tested images *)
+  per_site_cap : int;      (* tested images per (sid, sid, kind) site *)
+  max_pa_pairs_per_fence : int;
+}
+
+let default_cfg = { max_images = 4000; per_site_cap = 6; max_pa_pairs_per_fence = 16 }
+
+type epoch_cand =
+  | C_po of Infer.po * int            (* condition, sy tid *)
+  | C_guardian of Infer.cell * int    (* guardian cell, store tid *)
+
+let path_hash_step h sid = (h * 131) + Hashtbl.hash sid land 0xffffff
+
+let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image () =
+  let sim = Crash_sim.create ~pool_size in
+  let stats =
+    { candidates = 0; generated = 0; tested = 0;
+      per_op_images = Hashtbl.create 64 }
+  in
+  let last_store_word : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let epoch : epoch_cand list ref = ref [] in
+  let epoch_seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let site_count : (string * string * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let img_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let path_hash = ref 0 in
+  let stop = ref false in
+  let bump_op_count op =
+    Hashtbl.replace stats.per_op_images op
+      (1 + Option.value ~default:0 (Hashtbl.find_opt stats.per_op_images op))
+  in
+  (* Latest store whose range overlaps the cell, if any. *)
+  let latest_store_to (cell : Infer.cell) =
+    List.fold_left
+      (fun acc w ->
+         match Hashtbl.find_opt last_store_word w with
+         | Some tid ->
+           (match Crash_sim.store_event sim tid with
+            | Some s when Infer.overlap s.s_addr s.s_len cell.c_addr cell.c_len ->
+              (match acc with
+               | Some best when best >= tid -> acc
+               | _ -> Some tid)
+            | _ -> acc)
+         | None -> acc)
+      None
+      (Infer.words cell.c_addr cell.c_len)
+  in
+  let sid_of_store tid =
+    match Crash_sim.store_event sim tid with
+    | Some s -> s.s_sid
+    | None -> "?"
+  in
+  let site_ok key =
+    let n = Option.value ~default:0 (Hashtbl.find_opt site_count key) in
+    if n >= cfg.per_site_cap then false
+    else begin
+      Hashtbl.replace site_count key (n + 1);
+      true
+    end
+  in
+  let emit ~fence_tid ~op ~persist_tid ~avoid_tid ~viol ~site_key =
+    if not !stop then begin
+      match Crash_sim.feasible_extras sim ~persist:[ persist_tid ] ~avoid:[ avoid_tid ] with
+      | None -> ()
+      | Some extras ->
+        stats.candidates <- stats.candidates + 1;
+        let img_key = (fence_tid, Hashtbl.hash extras) in
+        if not (Hashtbl.mem img_seen img_key) then begin
+          Hashtbl.add img_seen img_key ();
+          stats.generated <- stats.generated + 1;
+          bump_op_count op;
+          if stats.tested < cfg.max_images && site_ok site_key then begin
+            stats.tested <- stats.tested + 1;
+            let img = Crash_sim.materialize sim ~extras in
+            let image =
+              { img; crash_tid = fence_tid; crash_op = op; viol;
+                path_hash = !path_hash }
+            in
+            match on_image image with
+            | `Continue -> ()
+            | `Stop -> stop := true
+          end
+        end
+    end
+  in
+  let process_fence fence_tid fence_sid op =
+    (* Baseline image: the crash evicted nothing — only already-guaranteed
+       stores survive. Always feasible; one per fence, capped per fence
+       site. It catches bugs whose inconsistent state is exactly "the
+       epoch's work vanished while an earlier side effect (an allocator
+       free, an unflushed item) is durable". *)
+    (match
+       List.find_opt
+         (function C_po (_, tid) | C_guardian (_, tid) ->
+            not (Crash_sim.is_guaranteed sim tid))
+         !epoch
+     with
+     | Some cand when not !stop ->
+       let first_lost =
+         match cand with C_po (_, tid) | C_guardian (_, tid) -> tid
+       in
+       let img_key = (fence_tid, 0) in
+       if not (Hashtbl.mem img_seen img_key) then begin
+         Hashtbl.add img_seen img_key ();
+         stats.candidates <- stats.candidates + 1;
+         stats.generated <- stats.generated + 1;
+         bump_op_count op;
+         let site_key = (fence_sid, "baseline", 2) in
+         if stats.tested < cfg.max_images && site_ok site_key then begin
+           stats.tested <- stats.tested + 1;
+           let img = Crash_sim.materialize sim ~extras:[] in
+           let image =
+             { img; crash_tid = fence_tid; crash_op = op;
+               viol =
+                 Unpersisted_epoch
+                   { fence_sid; first_lost_sid = sid_of_store first_lost };
+               path_hash = !path_hash }
+           in
+           match on_image image with
+           | `Continue -> ()
+           | `Stop -> stop := true
+         end
+       end
+     | _ -> ());
+    (* Ordering violations: one per (condition, sy) candidate. *)
+    List.iter
+      (function
+        | C_po (po, sy_tid) ->
+          (match latest_store_to po.Infer.req with
+           | Some sx_tid when sx_tid <> sy_tid ->
+             let viol =
+               Ordering
+                 { rule = po.rule;
+                   watch_sid = sid_of_store sy_tid;
+                   req_sid = sid_of_store sx_tid;
+                   watch_tid = sy_tid; req_tid = sx_tid }
+             in
+             let site_key = (sid_of_store sy_tid, sid_of_store sx_tid, 0) in
+             emit ~fence_tid ~op ~persist_tid:sy_tid ~avoid_tid:sx_tid
+               ~viol ~site_key
+           | _ -> ())
+        | C_guardian _ -> ())
+      !epoch;
+    (* Atomicity violations between guardian stores of this epoch. *)
+    let guardian_stores =
+      List.filter_map
+        (function C_guardian (c, tid) -> Some (c, tid) | C_po _ -> None)
+        !epoch
+    in
+    let pairs = ref 0 in
+    let rec all_pairs = function
+      | [] -> ()
+      | (c1, t1) :: rest ->
+        List.iter
+          (fun (c2, t2) ->
+             if t1 <> t2
+             && not (Infer.overlap c1.Infer.c_addr c1.c_len c2.Infer.c_addr c2.c_len)
+             && !pairs < cfg.max_pa_pairs_per_fence then begin
+               incr pairs;
+               let mk persisted lost =
+                 Atomicity
+                   { persisted_sid = sid_of_store persisted;
+                     lost_sid = sid_of_store lost;
+                     persisted_tid = persisted; lost_tid = lost }
+               in
+               emit ~fence_tid ~op ~persist_tid:t1 ~avoid_tid:t2
+                 ~viol:(mk t1 t2)
+                 ~site_key:(sid_of_store t1, sid_of_store t2, 1);
+               emit ~fence_tid ~op ~persist_tid:t2 ~avoid_tid:t1
+                 ~viol:(mk t2 t1)
+                 ~site_key:(sid_of_store t2, sid_of_store t1, 1)
+             end)
+          rest;
+        all_pairs rest
+    in
+    all_pairs guardian_stores;
+    epoch := [];
+    Hashtbl.reset epoch_seen
+  in
+  Trace.iter
+    (fun ev ->
+       if not !stop then begin
+         (match ev with
+          | Trace.Op_begin _ -> path_hash := 0
+          | Trace.Load l -> path_hash := path_hash_step !path_hash l.l_sid
+          | Trace.Store s -> path_hash := path_hash_step !path_hash s.s_sid
+          | _ -> ());
+         (match ev with
+          | Trace.Store s ->
+            List.iter
+              (fun w -> Hashtbl.replace last_store_word w s.s_tid)
+              (Infer.words s.s_addr s.s_len);
+            (* Register condition candidates watching this store. *)
+            List.iter
+              (fun (po : Infer.po) ->
+                 let key = Hashtbl.hash (po.watch, po.req, po.rule) in
+                 if not (Hashtbl.mem epoch_seen key) then begin
+                   Hashtbl.add epoch_seen key ();
+                   epoch := C_po (po, s.s_tid) :: !epoch
+                 end)
+              (Infer.conds_for conds s.s_addr s.s_len);
+            List.iter
+              (fun g -> epoch := C_guardian (g, s.s_tid) :: !epoch)
+              (Infer.guardians_for conds s.s_addr s.s_len)
+          | Trace.Fence f -> process_fence f.n_tid f.n_sid f.n_op
+          | _ -> ());
+         Crash_sim.on_event sim ev
+       end)
+    trace;
+  stats

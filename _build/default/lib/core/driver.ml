@@ -1,0 +1,100 @@
+(* Runs a store against a test case in three modes:
+
+   - [record]: instrumented run producing the trace and the committed
+     outputs (these double as the "committed" oracle for every crash
+     point, §4.4).
+   - [run_quiet]: uninstrumented run for rolled-back oracles.
+   - [resume]: attach to a crash NVM image, run recovery and the suffix of
+     the test case; any visible failure (simulated segfault, fuel
+     exhaustion, corrupt pool) marks the remaining outputs [Crashed].
+
+   Operation indices in the trace: index 0 is store creation, index k >= 1
+   is [ops.(k - 1)]. *)
+
+open Nvm
+
+type recorded = {
+  ops : Op.t array;
+  outputs : Output.t array;
+  trace : Trace.t;
+  pool_size : int;
+  final_image : string;  (* snapshot after the full run *)
+}
+
+let record (module S : Store_intf.S) ops =
+  let ops = Array.of_list ops in
+  let pmem = Pmem.create S.pool_size in
+  let ctx = Ctx.create ~mode:Record pmem in
+  Ctx.op_begin ctx ~index:0 ~desc:"create";
+  let store = S.create ctx in
+  Ctx.op_end ctx ~index:0;
+  let outputs =
+    Array.mapi
+      (fun i op ->
+         let index = i + 1 in
+         Ctx.op_begin ctx ~index ~desc:(Op.desc op);
+         let out = S.exec store op in
+         Ctx.op_end ctx ~index;
+         out)
+      ops
+  in
+  { ops; outputs; trace = Ctx.trace ctx; pool_size = S.pool_size;
+    final_image = Pmem.snapshot pmem }
+
+(* Uninstrumented execution of an arbitrary op list; used for rolled-back
+   oracles. Must be deterministic w.r.t. [record] modulo the removed op. *)
+let run_quiet (module S : Store_intf.S) ops =
+  let pmem = Pmem.create S.pool_size in
+  let ctx = Ctx.create ~mode:Quiet pmem in
+  let store = S.create ctx in
+  Array.of_list (List.map (S.exec store) ops)
+
+(* A resumed execution runs over a possibly corrupted image: any exception
+   it raises — simulated segfault, livelock fuel, corrupt metadata tripping
+   OCaml runtime checks — is a visible crash, which the paper counts as a
+   detected inconsistency. *)
+let describe_failure = function
+  | Pmem.Fault f -> Printf.sprintf "segfault@%d+%d" f.addr f.len
+  | Ctx.Fuel_exhausted -> "livelock"
+  | Pmdk.Pool.Corrupt_pool m -> "corrupt-pool:" ^ m
+  | Pmdk.Alloc.Out_of_memory -> "heap-exhausted"
+  | Pmdk.Tx.Log_full -> "tx-log-full"
+  | Stack_overflow -> "stack-overflow"
+  | e -> "exception:" ^ Printexc.to_string e
+
+(* Resume from a crash image: open + recover, then run ops with trace
+   indices [from_op + 1 .. n]. Returns exactly [n - from_op] outputs. *)
+let resume (module S : Store_intf.S) ~image ~ops ~from_op ~fuel =
+  let n = Array.length ops in
+  let suffix_len = n - from_op in
+  let results = Array.make (max suffix_len 1) (Output.Crashed "unreached") in
+  let ctx = Ctx.create ~mode:Quiet ~fuel image in
+  let fail_from i msg =
+    for j = i to suffix_len - 1 do
+      results.(j) <- Output.Crashed msg
+    done
+  in
+  let opened =
+    try `Store (S.open_ ctx) with
+    | Pmdk.Pool.Corrupt_pool _ ->
+      (* The crash predates pool initialization: the magic never became
+         durable. A real deployment re-creates the pool file, which is the
+         rolled-back behaviour for the creation op. *)
+      (try
+         let fresh = Pmem.create S.pool_size in
+         let ctx' = Ctx.create ~mode:Quiet ~fuel fresh in
+         `Store (S.create ctx')
+       with e -> `Err (describe_failure e))
+    | e -> `Err (describe_failure e)
+  in
+  (match opened with
+   | `Err msg -> fail_from 0 msg
+   | `Store store ->
+     let rec go i =
+       if i < suffix_len then
+         match S.exec store ops.(from_op + i) with
+         | out -> results.(i) <- out; go (i + 1)
+         | exception e -> fail_from i (describe_failure e)
+     in
+     go 0);
+  Array.sub results 0 (max suffix_len 0)

@@ -1,0 +1,108 @@
+(* The end-to-end Witcher pipeline (Figure 2): trace -> inference -> crash
+   image generation -> output equivalence checking, plus the trace-based
+   performance detector. Produces one Table 5-style result per store. *)
+
+type cfg = {
+  workload : Workload.cfg;
+  crash : Crash_gen.cfg;
+  fuel : int;  (* access budget for resumed executions *)
+}
+
+let default_cfg =
+  { workload = Workload.default; crash = Crash_gen.default_cfg;
+    fuel = 3_000_000 }
+
+type result = {
+  name : string;
+  n_ops : int;
+  trace_len : int;
+  n_loads : int;
+  n_stores : int;
+  n_flushes : int;
+  n_fences : int;
+  n_ord_conds : int;
+  n_atom_conds : int;
+  n_guardians : int;
+  images_generated : int;
+  images_tested : int;
+  n_mismatch : int;          (* tested images failing equivalence *)
+  n_clusters : int;
+  c_o : int;                 (* distinct ordering bug site-pairs *)
+  c_a : int;                 (* distinct atomicity bug site-pairs *)
+  perf : Perf.t;
+  bug_reports : Cluster.report list;   (* one per distinct root cause *)
+  site_pairs : Cluster.report list;
+  all_clusters : Cluster.report list;
+  per_op_images : (int, int) Hashtbl.t;
+  t_record : float;
+  t_infer : float;
+  t_check : float;           (* crash-gen + equivalence, fused *)
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let run ?(cfg = default_cfg) (module S : Store_intf.S) =
+  let wl = if S.supports_scan then cfg.workload else Workload.no_scan cfg.workload in
+  let ops = Workload.generate wl in
+  let recorded, t_record = timed (fun () -> Driver.record (module S) ops) in
+  let conds, t_infer = timed (fun () -> Infer.infer recorded.trace) in
+  let perf = Perf.detect recorded.trace in
+  let checker =
+    Equiv.create ~fuel:cfg.fuel (module S : Store_intf.S)
+      ~ops:recorded.ops ~committed:recorded.outputs
+  in
+  let clusters = Cluster.create ~store_name:S.name in
+  let n_mismatch = ref 0 in
+  let op_desc_of k =
+    if k = 0 then "create" else Op.desc recorded.ops.(k - 1)
+  in
+  let on_image (image : Crash_gen.image) =
+    let verdict = Equiv.check checker ~img:image.img ~crash_op:image.crash_op in
+    (match verdict with
+     | Equiv.Consistent -> ()
+     | Equiv.Inconsistent _ ->
+       incr n_mismatch;
+       Cluster.add clusters ~image ~op_desc:(op_desc_of image.crash_op) ~verdict);
+    `Continue
+  in
+  let stats, t_check =
+    timed (fun () ->
+        Crash_gen.generate ~cfg:cfg.crash ~trace:recorded.trace ~conds
+          ~pool_size:recorded.pool_size ~on_image ())
+  in
+  let bug_reports = Cluster.root_causes clusters in
+  let site_pairs = Cluster.site_pairs clusters in
+  (* §4.5: an unpersisted store is only a *performance* bug if it passes
+     output equivalence checking; sites implicated in a correctness bug
+     are dropped from P-U. *)
+  List.iter
+    (fun (r : Cluster.report) ->
+       Hashtbl.remove perf.Perf.p_u.sites r.watch_sid;
+       Hashtbl.remove perf.Perf.p_u.sites r.req_sid)
+    site_pairs;
+  let count kind =
+    List.length (List.filter (fun (r : Cluster.report) -> r.kind = kind) bug_reports)
+  in
+  let n_loads, n_stores, n_flushes, n_fences = Nvm.Trace.stats recorded.trace in
+  { name = S.name;
+    n_ops = List.length ops;
+    trace_len = Nvm.Trace.length recorded.trace;
+    n_loads; n_stores; n_flushes; n_fences;
+    n_ord_conds = Infer.n_ordering conds;
+    n_atom_conds = Infer.n_atomicity conds;
+    n_guardians = Infer.n_guardians conds;
+    images_generated = stats.generated;
+    images_tested = stats.tested;
+    n_mismatch = !n_mismatch;
+    n_clusters = Cluster.n_clusters clusters;
+    c_o = count Cluster.C_ordering;
+    c_a = count Cluster.C_atomicity;
+    perf;
+    bug_reports;
+    site_pairs;
+    all_clusters = Cluster.reports clusters;
+    per_op_images = stats.per_op_images;
+    t_record; t_infer; t_check }

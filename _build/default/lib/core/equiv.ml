@@ -1,0 +1,91 @@
+(* Output equivalence checking (§4.4). A crash NVM image is consistent iff
+   the execution resumed from it produces, for every operation after the
+   crashed one, the same outputs as one of the two oracles:
+
+   - committed: the crashed operation fully executed — the outputs of the
+     original no-crash run;
+   - rolled back: the crashed operation never executed — the outputs of a
+     fresh run with that operation removed.
+
+   Divergence from both is a true crash-consistency bug (no false
+   positives). Rolled-back oracles are memoized per crashed operation. *)
+
+type verdict =
+  | Consistent
+  | Inconsistent of {
+      first_diff : int;           (* trace op index of first diverging op *)
+      got : Output.t;
+      expect_committed : Output.t;
+      expect_rolled_back : Output.t;
+      crashed : bool;             (* resumption crashed visibly *)
+    }
+
+type t = {
+  store : Store_intf.instance;
+  ops : Op.t array;
+  committed : Output.t array;   (* outputs of ops.(i), trace index i+1 *)
+  rolled_back : (int, Output.t array) Hashtbl.t;  (* crash op -> oracle *)
+  fuel : int;
+}
+
+let create ?(fuel = 3_000_000) store ~ops ~committed =
+  { store; ops; committed; rolled_back = Hashtbl.create 64; fuel }
+
+(* Oracle for a crash at trace op index k: outputs of ops after k when
+   op k is rolled back. k = 0 (creation) rolls back to the committed
+   behaviour (the pool is simply re-created). *)
+let rolled_back_oracle t k =
+  match Hashtbl.find_opt t.rolled_back k with
+  | Some o -> o
+  | None ->
+    let n = Array.length t.ops in
+    let oracle =
+      if k = 0 then Array.sub t.committed 0 n
+      else begin
+        let ops' =
+          List.filteri (fun i _ -> i <> k - 1) (Array.to_list t.ops)
+        in
+        let outs = Driver.run_quiet t.store ops' in
+        (* outputs for ops k+1..n are at positions k-1 .. n-2 *)
+        Array.sub outs (k - 1) (n - k)
+      end
+    in
+    Hashtbl.replace t.rolled_back k oracle;
+    oracle
+
+let check t ~img ~crash_op =
+  let n = Array.length t.ops in
+  let k = crash_op in
+  let got =
+    Driver.resume t.store ~image:img ~ops:t.ops ~from_op:k ~fuel:t.fuel
+  in
+  let suffix_len = n - k in
+  let committed_suffix i = t.committed.(k + i) in
+  let rb = rolled_back_oracle t k in
+  let matches oracle_at =
+    let rec go i = i >= suffix_len || (Output.equal got.(i) (oracle_at i) && go (i + 1)) in
+    go 0
+  in
+  if matches committed_suffix || matches (fun i -> rb.(i)) then Consistent
+  else begin
+    (* First index diverging from both oracles, for the report. *)
+    let rec first i =
+      if i >= suffix_len then 0
+      else if not (Output.equal got.(i) (committed_suffix i))
+           && not (Output.equal got.(i) rb.(i)) then i
+      else first (i + 1)
+    in
+    (* The runs may diverge from the two oracles at different indices; for
+       reporting pick the first index differing from the committed oracle,
+       falling back to the first differing from rolled-back. *)
+    let i = first 0 in
+    let crashed =
+      Array.exists (function Output.Crashed _ -> true | _ -> false) got
+    in
+    Inconsistent
+      { first_diff = k + i + 1;
+        got = (if suffix_len > 0 then got.(i) else Output.Ok);
+        expect_committed = (if suffix_len > 0 then committed_suffix i else Output.Ok);
+        expect_rolled_back = (if suffix_len > 0 then rb.(i) else Output.Ok);
+        crashed }
+  end

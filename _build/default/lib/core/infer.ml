@@ -1,0 +1,155 @@
+(* Inference of likely-correctness conditions (§4.2, Table 2).
+
+   The trace already carries the Persistence Program Dependence Graph: a
+   Store event's [s_dd] / [s_cd] are the NVM loads its value / enclosing
+   branch guards derive from, and a Load event's [l_cd] are the guards of
+   a guarded read. The rules:
+
+   PO1  W(Y) -dd-> R(X)   ==>  P(X) -hb-> W(Y)
+   PO2  W(Y) -cd-> R(X)   ==>  P(X) -hb-> W(Y)
+   PO3  R(Y) -cd-> R(X)   ==>  P(Y) -hb-> W(X)   (X is a guardian)
+   PA1  two guardians X, Y ==>  AP(X, Y)
+
+   A condition is stored as {watch; req}: when a store to [watch] is
+   observed, the latest store to [req] must already be persisted —
+   otherwise an NVM state where the watch-store persisted and the
+   req-store did not violates the condition. For PO1/PO2, watch = Y and
+   req = X; for PO3 the guardian is the watched side (watch = X, req = Y).
+
+   Conditions are keyed by dynamic NVM address ranges (cells), like the
+   paper, so counts in Table 5 grow with the trace. *)
+
+type rule = PO1 | PO2 | PO3
+
+let rule_name = function PO1 -> "PO1" | PO2 -> "PO2" | PO3 -> "PO3"
+
+type cell = {
+  c_addr : int;
+  c_len : int;
+  c_sid : string;
+}
+
+type po = {
+  watch : cell;
+  req : cell;
+  rule : rule;
+}
+
+type t = {
+  po_index : (int, po list ref) Hashtbl.t;  (* 8-byte word of watch -> conds *)
+  guardian_index : (int, cell list ref) Hashtbl.t;  (* word -> guardian cells *)
+  mutable n_guardians : int;
+  mutable n_po1 : int;
+  mutable n_po2 : int;
+  mutable n_po3 : int;
+}
+
+let n_ordering t = t.n_po1 + t.n_po2 + t.n_po3
+let n_atomicity t = t.n_guardians * (t.n_guardians - 1) / 2
+let n_guardians t = t.n_guardians
+
+let overlap a1 l1 a2 l2 = a1 < a2 + l2 && a2 < a1 + l1
+
+let words addr len =
+  let first = addr lsr 3 and last = (addr + len - 1) lsr 3 in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let cell_of_load (l : Nvm.Trace.load_ev) =
+  { c_addr = l.l_addr; c_len = l.l_len; c_sid = l.l_sid }
+
+let add_po t seen ~watch ~req rule =
+  if not (overlap watch.c_addr watch.c_len req.c_addr req.c_len) then begin
+    let key = (watch.c_addr, watch.c_len, req.c_addr, req.c_len, rule) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      (match rule with
+       | PO1 -> t.n_po1 <- t.n_po1 + 1
+       | PO2 -> t.n_po2 <- t.n_po2 + 1
+       | PO3 -> t.n_po3 <- t.n_po3 + 1);
+      let cond = { watch; req; rule } in
+      List.iter
+        (fun w ->
+           match Hashtbl.find_opt t.po_index w with
+           | Some l -> l := cond :: !l
+           | None -> Hashtbl.add t.po_index w (ref [ cond ]))
+        (words watch.c_addr watch.c_len)
+    end
+  end
+
+let add_guardian t seen_g cell =
+  let key = (cell.c_addr, cell.c_len) in
+  if not (Hashtbl.mem seen_g key) then begin
+    Hashtbl.add seen_g key ();
+    t.n_guardians <- t.n_guardians + 1;
+    List.iter
+      (fun w ->
+         match Hashtbl.find_opt t.guardian_index w with
+         | Some l -> l := cell :: !l
+         | None -> Hashtbl.add t.guardian_index w (ref [ cell ]))
+      (words cell.c_addr cell.c_len)
+  end
+
+let infer (trace : Nvm.Trace.t) =
+  let t =
+    { po_index = Hashtbl.create 4096;
+      guardian_index = Hashtbl.create 256;
+      n_guardians = 0; n_po1 = 0; n_po2 = 0; n_po3 = 0 }
+  in
+  let seen = Hashtbl.create 8192 in
+  let seen_g = Hashtbl.create 256 in
+  let load_of tid =
+    match Nvm.Trace.get trace tid with
+    | Nvm.Trace.Load l -> Some l
+    | _ -> None
+  in
+  Nvm.Trace.iter
+    (fun ev ->
+       match ev with
+       | Nvm.Trace.Store s ->
+         let y = { c_addr = s.s_addr; c_len = s.s_len; c_sid = s.s_sid } in
+         Nvm.Taint.fold
+           (fun tid () ->
+              match load_of tid with
+              | Some l -> add_po t seen ~watch:y ~req:(cell_of_load l) PO1
+              | None -> ())
+           s.s_dd ();
+         Nvm.Taint.fold
+           (fun tid () ->
+              match load_of tid with
+              | Some l -> add_po t seen ~watch:y ~req:(cell_of_load l) PO2
+              | None -> ())
+           s.s_cd ()
+       | Nvm.Trace.Load l when not (Nvm.Taint.is_empty l.l_cd) ->
+         let y = cell_of_load l in
+         Nvm.Taint.fold
+           (fun tid () ->
+              match load_of tid with
+              | Some g ->
+                let x = cell_of_load g in
+                if not (overlap x.c_addr x.c_len y.c_addr y.c_len) then begin
+                  add_po t seen ~watch:x ~req:y PO3;
+                  add_guardian t seen_g x
+                end
+              | None -> ())
+           l.l_cd ()
+       | _ -> ())
+    trace;
+  t
+
+(* Conditions whose watch cell overlaps a store to [addr,len). *)
+let conds_for t addr len =
+  List.concat_map
+    (fun w ->
+       match Hashtbl.find_opt t.po_index w with
+       | Some l -> List.filter (fun c -> overlap c.watch.c_addr c.watch.c_len addr len) !l
+       | None -> [])
+    (words addr len)
+
+(* Guardian cells overlapping a store to [addr,len). *)
+let guardians_for t addr len =
+  List.concat_map
+    (fun w ->
+       match Hashtbl.find_opt t.guardian_index w with
+       | Some l -> List.filter (fun c -> overlap c.c_addr c.c_len addr len) !l
+       | None -> [])
+    (words addr len)

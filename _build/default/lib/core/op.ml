@@ -1,0 +1,35 @@
+(* Key-value operations: the well-known store interface Witcher's template
+   driver exercises (§6). Keys are integers, values short strings. *)
+
+type t =
+  | Insert of int * string
+  | Update of int * string
+  | Delete of int
+  | Query of int
+  | Scan of int * int  (* start key, count *)
+
+type kind = K_insert | K_update | K_delete | K_query | K_scan
+
+let kind = function
+  | Insert _ -> K_insert
+  | Update _ -> K_update
+  | Delete _ -> K_delete
+  | Query _ -> K_query
+  | Scan _ -> K_scan
+
+let kind_name = function
+  | K_insert -> "insert"
+  | K_update -> "update"
+  | K_delete -> "delete"
+  | K_query -> "query"
+  | K_scan -> "scan"
+
+let desc t =
+  match t with
+  | Insert (k, v) -> Printf.sprintf "insert(%d,%s)" k v
+  | Update (k, v) -> Printf.sprintf "update(%d,%s)" k v
+  | Delete k -> Printf.sprintf "delete(%d)" k
+  | Query k -> Printf.sprintf "query(%d)" k
+  | Scan (k, n) -> Printf.sprintf "scan(%d,%d)" k n
+
+let pp ppf t = Fmt.string ppf (desc t)

@@ -1,0 +1,37 @@
+(* Operation outputs. Output equivalence checking compares these values
+   verbatim between the post-crash execution and the oracles, so users
+   never specify what the "correct" output is (§6: E_NOTFOUND vs NULL does
+   not matter, only that test and oracle agree). [Crashed] marks a visible
+   failure (simulated segfault, exhausted fuel, corrupt pool) during the
+   post-crash run; oracles never contain it, so it always diverges. *)
+
+type t =
+  | Ok
+  | Not_found
+  | Found of string
+  | Vals of string list
+  | Fail of string
+  | Crashed of string
+
+let equal a b =
+  match a, b with
+  | Ok, Ok | Not_found, Not_found -> true
+  | Found x, Found y -> String.equal x y
+  | Vals x, Vals y -> (try List.for_all2 String.equal x y with Invalid_argument _ -> false)
+  | Fail x, Fail y -> String.equal x y
+  | Crashed _, _ | _, Crashed _ -> false
+  | (Ok | Not_found | Found _ | Vals _ | Fail _), _ -> false
+
+(* Post-crash values can be raw garbage bytes; keep reports text-safe. *)
+let printable s =
+  String.map (fun c -> if c >= ' ' && c < '\127' then c else '?') s
+
+let to_string = function
+  | Ok -> "ok"
+  | Not_found -> "notfound"
+  | Found v -> "found:" ^ printable v
+  | Vals vs -> "vals:[" ^ String.concat ";" (List.map printable vs) ^ "]"
+  | Fail m -> "fail:" ^ m
+  | Crashed m -> "CRASHED:" ^ m
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,98 @@
+(* Trace-based performance-bug detection (§4.5). No crash simulation is
+   needed; a single walk tracking the persistence state in program order
+   finds:
+
+   - P-U   unpersisted: a store never covered by any flush by the end of
+           the trace — the data behaves as volatile and should live in
+           DRAM;
+   - P-EFL extra flush: a flush of a line with no unflushed dirty store;
+   - P-EFE extra fence: a fence with no preceding flush since the last
+           fence;
+   - P-EL  extra logging: a tx_add_range whose region was already fully
+           logged in the same transaction.
+
+   Like the paper we report *bugs* as distinct static sites; raw dynamic
+   occurrence counts are kept for the reports. *)
+
+type counts = {
+  sites : (string, int) Hashtbl.t;  (* sid -> occurrences *)
+}
+
+type t = {
+  p_u : counts;
+  p_efl : counts;
+  p_efe : counts;
+  p_el : counts;
+}
+
+let mk () = { sites = Hashtbl.create 16 }
+
+let hit c sid =
+  Hashtbl.replace c.sites sid (1 + Option.value ~default:0 (Hashtbl.find_opt c.sites sid))
+
+let n_bugs c = Hashtbl.length c.sites
+let n_occurrences c = Hashtbl.fold (fun _ n acc -> acc + n) c.sites 0
+let bug_sites c =
+  Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) c.sites []
+  |> List.sort compare
+
+type line_track = {
+  mutable unflushed : (int * string) list;  (* store tid, sid: dirty, no flush yet *)
+}
+
+let detect (trace : Nvm.Trace.t) =
+  let t = { p_u = mk (); p_efl = mk (); p_efe = mk (); p_el = mk () } in
+  let lines : (int, line_track) Hashtbl.t = Hashtbl.create 1024 in
+  let flush_since_fence = ref 0 in
+  (* Per transaction: logged intervals (addr, len). *)
+  let tx_logs : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let line_of addr = Nvm.Pmem.line_of_addr addr in
+  let track line =
+    match Hashtbl.find_opt lines line with
+    | Some l -> l
+    | None ->
+      let l = { unflushed = [] } in
+      Hashtbl.add lines line l;
+      l
+  in
+  Nvm.Trace.iter
+    (fun ev ->
+       match ev with
+       | Nvm.Trace.Store s ->
+         let l = track (line_of s.s_addr) in
+         l.unflushed <- (s.s_tid, s.s_sid) :: l.unflushed
+       | Nvm.Trace.Flush f ->
+         incr flush_since_fence;
+         let l = track f.f_line in
+         if l.unflushed = [] then hit t.p_efl f.f_sid
+         else l.unflushed <- []
+       | Nvm.Trace.Fence f ->
+         if !flush_since_fence = 0 then hit t.p_efe f.n_sid;
+         flush_since_fence := 0
+       | Nvm.Trace.Log_range g ->
+         let logs =
+           match Hashtbl.find_opt tx_logs g.g_tx with
+           | Some l -> l
+           | None ->
+             let l = ref [] in
+             Hashtbl.add tx_logs g.g_tx l;
+             l
+         in
+         let covered =
+           (* fully contained in the union of previously logged ranges;
+              we check containment in a single range, which matches the
+              redundant-logging pattern in practice *)
+           List.exists
+             (fun (a, len) -> g.g_addr >= a && g.g_addr + g.g_len <= a + len)
+             !logs
+         in
+         if covered then hit t.p_el g.g_sid
+         else logs := (g.g_addr, g.g_len) :: !logs
+       | _ -> ())
+    trace;
+  (* Anything still unflushed at the end never gets persisted: P-U. *)
+  Hashtbl.iter
+    (fun _ l ->
+       List.iter (fun (_tid, sid) -> hit t.p_u sid) l.unflushed)
+    lines;
+  t

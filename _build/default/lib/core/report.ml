@@ -1,0 +1,111 @@
+(* Human-readable reproduction of the paper's tables and figures. All
+   output is plain text so `dune exec bench/main.exe` regenerates the
+   rows/series the paper reports. *)
+
+let line width = String.make width '-'
+
+(* Table 1: comparison with existing crash-consistency testing tools. *)
+let table1 () =
+  String.concat "\n"
+    [ "Table 1. Comparison with existing crash consistency testing tools";
+      line 100;
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "Tool" "Input space"
+        "NVM state exploration" "Validation oracle";
+      line 100;
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "Yat / PMReorder"
+        "user test case" "exhaustive" "user-provided oracle";
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "Jaaru" "user test case"
+        "model checking w/ pruning" "visible manifestation";
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "PMTest / XFDetector"
+        "user test case" "manual annotation" "user-provided oracle";
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "Agamotto"
+        "symbolic execution" "PM-aware search" "user-provided oracle";
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "PMDebugger" "user test case"
+        "user-provided oracle" "user-provided oracle";
+      Printf.sprintf "%-22s | %-24s | %-32s | %s" "WITCHER (this work)"
+        "user test case" "likely-correctness conditions" "output equivalence";
+      line 100 ]
+
+(* Table 2: the inference rules. *)
+let table2 () =
+  String.concat "\n"
+    [ "Table 2. Likely-correctness condition inference rules";
+      line 88;
+      Printf.sprintf "%-4s | %-22s | %-26s | %s" "#" "Hint (dependency)"
+        "Likely-correctness condition" "Violating NVM image";
+      line 88;
+      Printf.sprintf "%-4s | %-22s | %-26s | %s" "PO1" "W(Y) -dd-> R(X)"
+        "P(X) -hb-> W(Y)" "Y persisted, X unpersisted";
+      Printf.sprintf "%-4s | %-22s | %-26s | %s" "PO2" "W(Y) -cd-> R(X)"
+        "P(X) -hb-> W(Y)" "Y persisted, X unpersisted";
+      Printf.sprintf "%-4s | %-22s | %-26s | %s" "PO3" "R(Y) -cd-> R(X)"
+        "P(Y) -hb-> W(X)" "X persisted, Y unpersisted";
+      Printf.sprintf "%-4s | %-22s | %-26s | %s" "PA1" "guardians X, Y (PO3)"
+        "AP(X, Y)" "exactly one of X, Y persisted";
+      line 88 ]
+
+let result_header () =
+  Printf.sprintf "%-18s | %4s %4s | %4s %5s %5s %4s | %9s %9s | %8s %8s %8s | %8s | %7s"
+    "Program" "C-O" "C-A" "P-U" "P-EFL" "P-EFE" "P-EL" "#ord-cond" "#atm-cond"
+    "#img-gen" "#img-tst" "#mismtch" "#cluster" "time(s)"
+
+let result_row (r : Engine.result) =
+  let total_time = r.t_record +. r.t_infer +. r.t_check in
+  Printf.sprintf "%-18s | %4d %4d | %4d %5d %5d %4d | %9d %9d | %8d %8d %8d | %8d | %7.1f"
+    r.name r.c_o r.c_a
+    (Perf.n_bugs r.perf.p_u) (Perf.n_bugs r.perf.p_efl)
+    (Perf.n_bugs r.perf.p_efe) (Perf.n_bugs r.perf.p_el)
+    r.n_ord_conds r.n_atom_conds
+    r.images_generated r.images_tested r.n_mismatch r.n_clusters total_time
+
+(* Table 4-style detailed bug list for one store. *)
+let bug_list (r : Engine.result) =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i (rep : Cluster.report) ->
+       Buffer.add_string buf
+         (Fmt.str "  %2d. %a\n" (i + 1) Cluster.pp_report rep))
+    r.bug_reports;
+  List.iter
+    (fun (kind, counts) ->
+       List.iter
+         (fun (sid, n) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  perf %-5s %-48s x%d\n" kind sid n))
+         counts)
+    [ "P-U", Perf.bug_sites r.perf.p_u;
+      "P-EFL", Perf.bug_sites r.perf.p_efl;
+      "P-EFE", Perf.bug_sites r.perf.p_efe;
+      "P-EL", Perf.bug_sites r.perf.p_el ];
+  Buffer.contents buf
+
+(* Figure 4: ASCII series of cumulative test-space sizes per operation. *)
+let figure4 ~name (s : Yat.series) ~step =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Figure 4 (%s): cumulative crash states vs op index\n" name);
+  Buffer.add_string buf
+    (Printf.sprintf "%6s | %18s | %14s\n" "op" "Yat (log10 states)" "Witcher images");
+  let n = Array.length s.yat_log10 in
+  let rec go i =
+    if i < n then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%6d | %18.1f | %14d\n" i s.yat_log10.(i) s.witcher.(i));
+      go (min (i + step) (if i = n - 1 then n else n - 1 + (n - 1 - i)))
+    end
+  in
+  (* print every [step]-th op plus the last one *)
+  let rec go2 i =
+    if i < n - 1 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%6d | %18.1f | %14d\n" i s.yat_log10.(i) s.witcher.(i));
+      go2 (i + step)
+    end
+  in
+  ignore go;
+  go2 0;
+  if n > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%6d | %18.1f | %14d\n" (n - 1)
+         s.yat_log10.(n - 1) s.witcher.(n - 1));
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(* The interface every tested NVM program implements — the analogue of the
+   paper's template driver with placeholders for initialization, recovery
+   and operations (§6).
+
+   [create] builds a fresh store in an empty pool. [open_] attaches to an
+   existing pool image (possibly a crash image) and runs the program's
+   recovery code, if any. Both receive the instrumented context through
+   which every NVM access must go. *)
+
+module type S = sig
+  val name : string
+
+  (** Pool size in bytes; the driver allocates the simulated NVM image. *)
+  val pool_size : int
+
+  (** Whether range scans are meaningful for this design (hash tables
+      typically say [false]). *)
+  val supports_scan : bool
+
+  type t
+
+  val create : Nvm.Ctx.t -> t
+
+  (** Attach to an existing image and run recovery. May raise (corrupt
+      pool, fault): the driver reports that as a visible crash. *)
+  val open_ : Nvm.Ctx.t -> t
+
+  val exec : t -> Op.t -> Output.t
+end
+
+type instance = (module S)

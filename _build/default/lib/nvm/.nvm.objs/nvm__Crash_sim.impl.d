@@ -1,0 +1,1 @@
+lib/nvm/crash_sim.ml: Hashtbl Int List Pmem Random Set Trace Vec

@@ -1,0 +1,1 @@
+lib/nvm/ctx.ml: Bytes Char Int64 Pmem String Taint Trace Tv

@@ -1,0 +1,1 @@
+lib/nvm/pmem.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/nvm/taint.ml: Fmt Int List Set

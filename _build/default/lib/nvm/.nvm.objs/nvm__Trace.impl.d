@@ -1,0 +1,1 @@
+lib/nvm/trace.ml: Fmt Taint Vec

@@ -1,0 +1,1 @@
+lib/nvm/tv.ml: Fmt String Taint

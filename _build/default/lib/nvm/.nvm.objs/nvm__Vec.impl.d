@@ -1,0 +1,1 @@
+lib/nvm/vec.ml: Array List

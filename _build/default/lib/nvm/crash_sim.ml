@@ -1,0 +1,211 @@
+(* The cache/NVM persistence state machine (§4.3.1). Walking a trace in
+   program order, it tracks for every cache line which stores are
+
+   - dirty: written but with no durability guarantee — the line may be
+     evicted (persisted) at any moment, or lost on crash;
+   - pending: covered by a flush since they were written — durable after
+     the next fence;
+   - guaranteed: flushed and fenced — durable in every reachable crash
+     state.
+
+   Feasibility of a crash NVM state follows the two x86 rules the paper
+   states: a fence makes all previously flushed stores durable, and stores
+   to the same cache line persist in program order (x86-TSO), so a chosen
+   persist-set must be per-line prefix-closed and must contain every
+   guaranteed store.
+
+   The module incrementally maintains [persisted], the pool image holding
+   exactly the guaranteed stores; [materialize] copies it and applies a
+   feasible set of extra (evicted-early) stores to obtain a concrete crash
+   image. Same-line stores become guaranteed in program order, so the
+   incremental application yields the correct final bytes. *)
+
+type line_state = {
+  seq : int Vec.t;                 (* store tids on this line, program order *)
+  mutable pending_upto : int;      (* seq prefix covered by a flush *)
+  mutable guaranteed_upto : int;   (* seq prefix that is durable *)
+}
+
+type pos = { p_line : int; p_idx : int }
+
+type t = {
+  lines : (int, line_state) Hashtbl.t;
+  store_pos : (int, pos) Hashtbl.t;      (* store tid -> line/seq position *)
+  store_ev : (int, Trace.store_ev) Hashtbl.t;
+  mutable touched : int list;            (* lines flushed since last fence *)
+  persisted : Pmem.t;
+  mutable n_guaranteed : int;
+  mutable n_dirty : int;                 (* stores with no guarantee yet *)
+}
+
+let create ~pool_size =
+  { lines = Hashtbl.create 1024;
+    store_pos = Hashtbl.create 4096;
+    store_ev = Hashtbl.create 4096;
+    touched = [];
+    persisted = Pmem.create pool_size;
+    n_guaranteed = 0;
+    n_dirty = 0 }
+
+let line_state t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some ls -> ls
+  | None ->
+    let ls = { seq = Vec.create ~dummy:(-1); pending_upto = 0; guaranteed_upto = 0 } in
+    Hashtbl.add t.lines line ls;
+    ls
+
+let on_store t (s : Trace.store_ev) =
+  let line = Pmem.line_of_addr s.s_addr in
+  let ls = line_state t line in
+  Hashtbl.replace t.store_pos s.s_tid { p_line = line; p_idx = Vec.length ls.seq };
+  Hashtbl.replace t.store_ev s.s_tid s;
+  Vec.push ls.seq s.s_tid;
+  t.n_dirty <- t.n_dirty + 1
+
+let on_flush t line =
+  let ls = line_state t line in
+  if ls.pending_upto < Vec.length ls.seq then begin
+    ls.pending_upto <- Vec.length ls.seq;
+    t.touched <- line :: t.touched
+  end
+
+let on_fence t =
+  List.iter
+    (fun line ->
+       let ls = line_state t line in
+       for i = ls.guaranteed_upto to ls.pending_upto - 1 do
+         let tid = Vec.get ls.seq i in
+         let s = Hashtbl.find t.store_ev tid in
+         Pmem.write_bytes t.persisted s.s_addr s.s_data;
+         t.n_guaranteed <- t.n_guaranteed + 1;
+         t.n_dirty <- t.n_dirty - 1
+       done;
+       if ls.guaranteed_upto < ls.pending_upto then
+         ls.guaranteed_upto <- ls.pending_upto)
+    t.touched;
+  t.touched <- []
+
+(* Feed any trace event; non-persistence events are ignored. *)
+let on_event t = function
+  | Trace.Store s -> on_store t s
+  | Trace.Flush f -> on_flush t f.f_line
+  | Trace.Fence _ -> on_fence t
+  | Trace.Load _ | Trace.Log_range _ | Trace.Tx_begin _ | Trace.Tx_commit _
+  | Trace.Tx_abort _ | Trace.Op_begin _ | Trace.Op_end _ -> ()
+
+let is_guaranteed t tid =
+  match Hashtbl.find_opt t.store_pos tid with
+  | None -> false
+  | Some p ->
+    let ls = Hashtbl.find t.lines p.p_line in
+    p.p_idx < ls.guaranteed_upto
+
+let store_event t tid = Hashtbl.find_opt t.store_ev tid
+
+let n_guaranteed t = t.n_guaranteed
+let n_dirty t = t.n_dirty
+
+(* All not-yet-guaranteed stores on [tid]'s line up to and including it:
+   the minimal extra persist-set making [tid] durable (x86-TSO per-line
+   order). Returns tids in program order. *)
+let closure_one t tid =
+  match Hashtbl.find_opt t.store_pos tid with
+  | None -> []
+  | Some p ->
+    let ls = Hashtbl.find t.lines p.p_line in
+    let rec collect i acc =
+      if i > p.p_idx then List.rev acc
+      else collect (i + 1) (Vec.get ls.seq i :: acc)
+    in
+    collect ls.guaranteed_upto []
+
+(* Minimal feasible extra persist-set making every tid in [persist]
+   durable while leaving every tid in [avoid] non-durable. [None] if a
+   requirement conflicts: an [avoid] store is already guaranteed or is
+   forced in by per-line prefix closure. *)
+let feasible_extras t ~persist ~avoid =
+  if List.exists (is_guaranteed t) avoid then None
+  else begin
+    let module IS = Set.Make (Int) in
+    let extras =
+      List.fold_left
+        (fun acc tid -> IS.union acc (IS.of_list (closure_one t tid)))
+        IS.empty persist
+    in
+    if List.exists (fun a -> IS.mem a extras) avoid then None
+    else Some (IS.elements extras)
+  end
+
+(* Concrete crash image: guaranteed stores plus [extras] (program order). *)
+let materialize t ~extras =
+  let img = Pmem.copy t.persisted in
+  List.iter
+    (fun tid ->
+       match Hashtbl.find_opt t.store_ev tid with
+       | Some s -> Pmem.write_bytes img s.s_addr s.s_data
+       | None -> ())
+    (List.sort compare extras);
+  img
+
+(* Statistics used by the Yat test-space estimator: number of dirty (not
+   yet guaranteed) stores per line, at the current point. *)
+let dirty_per_line t =
+  Hashtbl.fold
+    (fun _line ls acc ->
+       let d = Vec.length ls.seq - ls.guaranteed_upto in
+       if d > 0 then d :: acc else acc)
+    t.lines []
+
+(* A uniformly random feasible extra persist-set: an independent random
+   prefix of the dirty stores of every line (per-line prefix closure is
+   feasibility). Used by the §7.5 random-exploration baseline. *)
+let random_feasible_extras t rng =
+  Hashtbl.fold
+    (fun _line ls acc ->
+       let d = Vec.length ls.seq - ls.guaranteed_upto in
+       if d = 0 then acc
+       else begin
+         let k = Random.State.int rng (d + 1) in
+         let rec take i acc =
+           if i >= k then acc
+           else take (i + 1) (Vec.get ls.seq (ls.guaranteed_upto + i) :: acc)
+         in
+         take 0 acc
+       end)
+    t.lines []
+
+(* Every feasible extra persist-set at the current point, up to [limit]
+   (cartesian product of per-line prefixes). Exhaustive-testing (Yat)
+   support for tiny traces. *)
+let all_feasible_extras t ~limit =
+  let per_line =
+    Hashtbl.fold
+      (fun _line ls acc ->
+         let d = Vec.length ls.seq - ls.guaranteed_upto in
+         if d = 0 then acc
+         else begin
+           let prefixes =
+             List.init (d + 1) (fun k ->
+                 List.init k (fun i -> Vec.get ls.seq (ls.guaranteed_upto + i)))
+           in
+           prefixes :: acc
+         end)
+      t.lines []
+  in
+  let rec product acc = function
+    | [] -> acc
+    | prefixes :: rest ->
+      if List.length acc * List.length prefixes > limit then
+        (* truncate: keep the empty-prefix choice plus as many as fit *)
+        let budget = max 1 (limit / max 1 (List.length acc)) in
+        let prefixes = List.filteri (fun i _ -> i < budget) prefixes in
+        product
+          (List.concat_map (fun set -> List.map (fun p -> p @ set) prefixes) acc)
+          rest
+      else
+        product
+          (List.concat_map (fun set -> List.map (fun p -> p @ set) prefixes) acc)
+          rest
+  in
+  product [ [] ] per_line

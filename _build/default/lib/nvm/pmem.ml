@@ -1,0 +1,60 @@
+(* The simulated NVM pool: a bounded, byte-addressable image. In PMDK an
+   NVM image is a regular file holding the persistent heap (§4.3 fn. 3);
+   here it is a [Bytes.t] that can be snapshotted, diffed and rebuilt from
+   a chosen set of persisted stores.
+
+   Out-of-bounds accesses raise [Fault], the simulated segmentation fault:
+   resuming from a corrupted crash image may follow garbage pointers, and
+   the paper treats such visible crashes as detected inconsistencies. *)
+
+exception Fault of { addr : int; len : int }
+
+type t = {
+  buf : Bytes.t;
+  size : int;
+}
+
+let line_size = 64
+let line_of_addr addr = addr lsr 6
+
+let create size =
+  if size <= 0 then invalid_arg "Pmem.create";
+  { buf = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    raise (Fault { addr; len })
+
+let read_u64 t addr =
+  check t addr 8;
+  Int64.to_int (Bytes.get_int64_le t.buf addr)
+
+let write_u64 t addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.buf addr (Int64.of_int v)
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.buf addr)
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.set t.buf addr (Char.chr (v land 0xff))
+
+let read_bytes t addr len =
+  check t addr len;
+  Bytes.sub_string t.buf addr len
+
+let write_bytes t addr s =
+  let len = String.length s in
+  check t addr len;
+  Bytes.blit_string s 0 t.buf addr len
+
+let snapshot t = Bytes.to_string t.buf
+
+let of_snapshot s =
+  { buf = Bytes.of_string s; size = String.length s }
+
+let copy t = { buf = Bytes.copy t.buf; size = t.size }

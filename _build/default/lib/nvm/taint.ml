@@ -1,0 +1,27 @@
+(* Taint sets identify the NVM loads a value derives from. Each element is
+   the trace id (tid) of a Load event. Taint flows through Tv arithmetic
+   and through control-dependency scopes in Ctx; a Store event records the
+   taint of the stored value (data dependency) and of the enclosing branch
+   guards (control dependency). These edges are exactly the Persistence
+   Program Dependence Graph of Witcher §4.2.2. *)
+
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let union = S.union
+let add = S.add
+let mem = S.mem
+let elements = S.elements
+let cardinal = S.cardinal
+let fold = S.fold
+let of_list = S.of_list
+let equal = S.equal
+
+let union_list = List.fold_left union empty
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (elements t)

@@ -1,0 +1,107 @@
+(* Execution traces. Every instrumented NVM access appends one event; the
+   Witcher pipeline (inference, crash-image generation, performance-bug
+   detection) consumes the trace post hoc, mirroring §4.1 of the paper.
+
+   A [sid] is the static-instruction-id analogue: a stable source-site
+   label such as "level_hash:insert.token". Events carry the dynamic trace
+   id (tid), which is the event's index in the trace. *)
+
+type store_ev = {
+  s_tid : int;
+  s_sid : string;
+  s_addr : int;
+  s_len : int;
+  s_data : string;
+  s_dd : Taint.t;  (* loads the stored value is data-dependent on *)
+  s_cd : Taint.t;  (* loads the store is control-dependent on *)
+  s_op : int;      (* index of the enclosing test-case operation *)
+}
+
+type load_ev = {
+  l_tid : int;
+  l_sid : string;
+  l_addr : int;
+  l_len : int;
+  l_cd : Taint.t;
+  l_op : int;
+}
+
+type event =
+  | Load of load_ev
+  | Store of store_ev
+  | Flush of { f_tid : int; f_sid : string; f_line : int; f_op : int }
+  | Fence of { n_tid : int; n_sid : string; n_op : int }
+  | Log_range of { g_tid : int; g_sid : string; g_addr : int; g_len : int; g_tx : int; g_op : int }
+  | Tx_begin of { t_tid : int; t_tx : int; t_op : int }
+  | Tx_commit of { t_tid : int; t_tx : int; t_op : int }
+  | Tx_abort of { t_tid : int; t_tx : int; t_op : int }
+  | Op_begin of { o_tid : int; o_index : int; o_desc : string }
+  | Op_end of { o_tid : int; o_index : int }
+
+type t = {
+  events : event Vec.t;
+  mutable n_loads : int;
+  mutable n_stores : int;
+  mutable n_flushes : int;
+  mutable n_fences : int;
+}
+
+let dummy_event = Fence { n_tid = -1; n_sid = ""; n_op = -1 }
+
+let create () =
+  { events = Vec.create ~dummy:dummy_event;
+    n_loads = 0; n_stores = 0; n_flushes = 0; n_fences = 0 }
+
+let length t = Vec.length t.events
+let get t i = Vec.get t.events i
+let iter f t = Vec.iter f t.events
+let iteri f t = Vec.iteri f t.events
+
+let next_tid t = Vec.length t.events
+
+let push t ev =
+  (match ev with
+   | Load _ -> t.n_loads <- t.n_loads + 1
+   | Store _ -> t.n_stores <- t.n_stores + 1
+   | Flush _ -> t.n_flushes <- t.n_flushes + 1
+   | Fence _ -> t.n_fences <- t.n_fences + 1
+   | _ -> ());
+  Vec.push t.events ev
+
+let tid_of = function
+  | Load l -> l.l_tid
+  | Store s -> s.s_tid
+  | Flush f -> f.f_tid
+  | Fence f -> f.n_tid
+  | Log_range g -> g.g_tid
+  | Tx_begin x -> x.t_tid
+  | Tx_commit x -> x.t_tid
+  | Tx_abort x -> x.t_tid
+  | Op_begin o -> o.o_tid
+  | Op_end o -> o.o_tid
+
+let op_of = function
+  | Load l -> l.l_op
+  | Store s -> s.s_op
+  | Flush f -> f.f_op
+  | Fence f -> f.n_op
+  | Log_range g -> g.g_op
+  | Tx_begin x -> x.t_op
+  | Tx_commit x -> x.t_op
+  | Tx_abort x -> x.t_op
+  | Op_begin o -> o.o_index
+  | Op_end o -> o.o_index
+
+let stats t = (t.n_loads, t.n_stores, t.n_flushes, t.n_fences)
+
+let pp_event ppf = function
+  | Load l -> Fmt.pf ppf "%6d L  %s @%d+%d" l.l_tid l.l_sid l.l_addr l.l_len
+  | Store s -> Fmt.pf ppf "%6d S  %s @%d+%d" s.s_tid s.s_sid s.s_addr s.s_len
+  | Flush f -> Fmt.pf ppf "%6d FL %s line=%d" f.f_tid f.f_sid f.f_line
+  | Fence f -> Fmt.pf ppf "%6d FE %s" f.n_tid f.n_sid
+  | Log_range g -> Fmt.pf ppf "%6d LG %s @%d+%d tx=%d" g.g_tid g.g_sid g.g_addr g.g_len g.g_tx
+  | Tx_begin x -> Fmt.pf ppf "%6d TB tx=%d" x.t_tid x.t_tx
+  | Tx_commit x -> Fmt.pf ppf "%6d TC tx=%d" x.t_tid x.t_tx
+  | Tx_abort x -> Fmt.pf ppf "%6d TA tx=%d" x.t_tid x.t_tx
+  | Op_begin o -> Fmt.pf ppf "%6d OB #%d %s" o.o_tid o.o_index o.o_desc
+  | Op_end o -> Fmt.pf ppf "%6d OE #%d" o.o_tid o.o_index

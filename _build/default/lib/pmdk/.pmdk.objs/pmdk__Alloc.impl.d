@@ -1,0 +1,1 @@
+lib/pmdk/alloc.ml: Ctx Layout Nvm Pmem Pool String Tv

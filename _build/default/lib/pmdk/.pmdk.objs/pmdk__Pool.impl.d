@@ -1,0 +1,1 @@
+lib/pmdk/pool.ml: Ctx Layout Nvm Pmem Tv

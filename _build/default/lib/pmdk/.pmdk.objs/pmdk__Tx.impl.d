@@ -1,0 +1,1 @@
+lib/pmdk/tx.ml: Ctx Layout List Nvm Pool Tv

@@ -1,0 +1,73 @@
+(* The persistent heap allocator: a bump pointer plus an exact-fit free
+   list, with all metadata in the pool so allocation state survives
+   crashes. The correct persist order is: block header, then bump
+   pointer / free-list head, each made durable before the block is handed
+   to the application. With [alloc_bug] the bump-pointer update is written
+   but not persisted — the paper's libpmemobj Bug #1. *)
+
+open Nvm
+
+exception Out_of_memory
+
+let pool_end pool = Pmem.size (Ctx.pmem (Pool.ctx pool))
+
+(* Pop the free-list head if it fits exactly, else bump. *)
+let alloc pool size =
+  let ctx = Pool.ctx pool in
+  let size = Layout.align16 (max size 16) in
+  let free = Ctx.read_u64 ctx ~sid:"pmdk:alloc.free_head" Layout.off_free_head in
+  let exact_fit =
+    Tv.to_bool free
+    && Tv.value
+         (Ctx.read_u64 ctx ~sid:"pmdk:alloc.free_size"
+            (Tv.value free - Layout.block_header))
+       = size
+  in
+  if exact_fit then begin
+    let next = Ctx.read_u64 ctx ~sid:"pmdk:alloc.free_next" (Tv.value free) in
+    Ctx.write_u64 ctx ~sid:"pmdk:alloc.pop" Layout.off_free_head next;
+    Ctx.persist ctx ~sid:"pmdk:alloc.pop_persist" Layout.off_free_head 8;
+    Tv.value free
+  end
+  else begin
+    let head = Ctx.read_u64 ctx ~sid:"pmdk:alloc.head" Layout.off_alloc_head in
+    let block = Tv.value head in
+    let user = block + Layout.block_header in
+    if user + size > pool_end pool then raise Out_of_memory;
+    Ctx.write_u64 ctx ~sid:"pmdk:alloc.block_size" block (Tv.const size);
+    Ctx.flush ctx ~sid:"pmdk:alloc.block_flush" block;
+    let head' = Tv.add head (Tv.const (Layout.block_header + size)) in
+    Ctx.write_u64 ctx ~sid:"pmdk:alloc.bump" Layout.off_alloc_head head';
+    if (Pool.config pool).alloc_bug && size >= 128 then
+      (* BUG (paper Bug 1, C-O, PMDK issue 4945): the large-object
+         allocation path never flushes the new bump pointer, so the
+         allocation is lost on crash while persisted application pointers
+         already reference the block — the recovered heap hands the same
+         region out again. *)
+      ()
+    else begin
+      Ctx.flush ctx ~sid:"pmdk:alloc.bump_flush" Layout.off_alloc_head;
+      Ctx.fence ctx ~sid:"pmdk:alloc.bump_fence"
+    end;
+    user
+  end
+
+(* Zeroing allocation, as pmemobj_tx_zalloc: the block is zeroed and the
+   zeroes persisted before the caller links it anywhere. *)
+let zalloc pool size =
+  let ctx = Pool.ctx pool in
+  let user = alloc pool size in
+  let size = Layout.align16 (max size 16) in
+  Ctx.write_bytes ctx ~sid:"pmdk:zalloc.zero" user
+    (Tv.blob (String.make size '\000'));
+  Ctx.persist ctx ~sid:"pmdk:zalloc.persist" user size;
+  user
+
+let free pool user =
+  let ctx = Pool.ctx pool in
+  let head = Ctx.read_u64 ctx ~sid:"pmdk:free.head" Layout.off_free_head in
+  Ctx.write_u64 ctx ~sid:"pmdk:free.next" user head;
+  Ctx.persist ctx ~sid:"pmdk:free.next_persist" user 8;
+  Ctx.write_u64 ctx ~sid:"pmdk:free.push" Layout.off_free_head
+    (Tv.const user);
+  Ctx.persist ctx ~sid:"pmdk:free.push_persist" Layout.off_free_head 8

@@ -1,0 +1,26 @@
+(* Pool layout constants. The header mirrors what libpmemobj keeps at the
+   start of a pool: identification, the root object, allocator state and
+   the transaction undo-log arena. All fields are 8-byte words. *)
+
+let magic = 0x5749_5443 (* "WITC" *)
+
+let off_magic = 0
+let off_root = 8
+let off_root_size = 16
+let off_alloc_head = 24
+let off_free_head = 32
+let off_tx_state = 40
+let off_tx_count = 48
+let off_tx_tail = 56
+
+let log_area = 64
+let log_size = 256 * 1024
+let heap_start = log_area + log_size
+
+(* Allocation block: [size:8][pad:8][user bytes...]; user addr is
+   returned. The 16-byte header keeps user addresses 16-aligned, so a
+   16-byte record write never straddles a cache line and is a single
+   atomic store event — the property FAST-style entry moves rely on. *)
+let block_header = 16
+
+let align16 n = (n + 15) land lnot 15

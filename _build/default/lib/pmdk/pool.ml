@@ -1,0 +1,63 @@
+(* Persistent memory pool management, the libpmemobj analogue. A pool owns
+   a header, an undo-log arena (see Tx) and a heap (see Alloc). Stores
+   obtain their root object via [root] and never touch the header
+   directly.
+
+   [alloc_bug] reproduces the paper's Bug #1 ("incorrect persistence order
+   in allocation", PMDK issue 4945, Priority 1 showstopper): the allocator
+   hands out a block before its bump pointer is durable, so an application
+   pointer to the block can persist while the allocator metadata does not;
+   after the crash, the same region is handed out again. *)
+
+open Nvm
+
+type config = {
+  alloc_bug : bool;
+}
+
+let default_config = { alloc_bug = false }
+
+type t = {
+  ctx : Ctx.t;
+  cfg : config;
+}
+
+exception Corrupt_pool of string
+
+let ctx t = t.ctx
+let config t = t.cfg
+
+let read t ~sid off = Ctx.read_u64 t.ctx ~sid off
+let write t ~sid off v = Ctx.write_u64 t.ctx ~sid off (Tv.const v)
+
+let create ?(cfg = default_config) ctx ~root_size =
+  let t = { ctx; cfg } in
+  let root_size = Layout.align16 root_size in
+  let root = Layout.heap_start + Layout.block_header in
+  write t ~sid:"pmdk:create.root" Layout.off_root root;
+  write t ~sid:"pmdk:create.root_size" Layout.off_root_size root_size;
+  Ctx.write_u64 ctx ~sid:"pmdk:create.block_size"
+    Layout.heap_start (Tv.const root_size);
+  write t ~sid:"pmdk:create.alloc_head" Layout.off_alloc_head
+    (root + root_size);
+  write t ~sid:"pmdk:create.free_head" Layout.off_free_head 0;
+  write t ~sid:"pmdk:create.tx_state" Layout.off_tx_state 0;
+  write t ~sid:"pmdk:create.tx_count" Layout.off_tx_count 0;
+  write t ~sid:"pmdk:create.tx_tail" Layout.off_tx_tail Layout.log_area;
+  Ctx.persist ctx ~sid:"pmdk:create.persist" 0 64;
+  (* The magic is persisted last: a pool missing it is simply re-created,
+     which makes pool creation itself crash-consistent. *)
+  write t ~sid:"pmdk:create.magic" Layout.off_magic Layout.magic;
+  Ctx.persist ctx ~sid:"pmdk:create.persist_magic" Layout.off_magic 8;
+  t
+
+let is_initialized ctx =
+  Pmem.read_u64 (Ctx.pmem ctx) Layout.off_magic = Layout.magic
+
+let open_ ?(cfg = default_config) ctx =
+  let t = { ctx; cfg } in
+  let m = Tv.value (read t ~sid:"pmdk:open.magic" Layout.off_magic) in
+  if m <> Layout.magic then raise (Corrupt_pool "bad magic");
+  t
+
+let root t = Tv.value (read t ~sid:"pmdk:root" Layout.off_root)

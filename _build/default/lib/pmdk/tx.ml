@@ -1,0 +1,113 @@
+(* Undo-log transactions, the libpmemobj-TX analogue. The protocol:
+
+   begin:      tx_state := 1 (persisted), empty log.
+   add_range:  append [addr|len|old bytes] to the log arena and persist the
+               entry *before* bumping the persisted entry count — only then
+               may the caller modify the range (undo-logging rule).
+   commit:     persist every logged range, fence, then tx_state := 0.
+   recovery:   if tx_state = 1, the crash hit an open transaction: apply
+               undo entries in reverse, persist, then tx_state := 0.
+
+   Applications that modify a range without logging it first (the paper's
+   "missing logging in a transaction" bugs, IDs 40-43) leave recovery
+   unable to roll the range back, which Witcher exposes as an output
+   divergence. Each add_range also emits a Log_range trace event so the
+   performance detector can flag redundant logging (P-EL). *)
+
+open Nvm
+
+exception Log_full
+
+type t = {
+  pool : Pool.t;
+  id : int;
+}
+
+let ctx t = Pool.ctx t.pool
+
+let begin_ pool =
+  let c = Pool.ctx pool in
+  let id = Ctx.fresh_tx c in
+  Ctx.write_u64 c ~sid:"pmdk:tx.begin_count" Layout.off_tx_count (Tv.const 0);
+  Ctx.write_u64 c ~sid:"pmdk:tx.begin_tail" Layout.off_tx_tail
+    (Tv.const Layout.log_area);
+  Ctx.write_u64 c ~sid:"pmdk:tx.begin_state" Layout.off_tx_state (Tv.const 1);
+  Ctx.persist c ~sid:"pmdk:tx.begin_persist" Layout.off_tx_state 24;
+  Ctx.tx_begin c ~tx:id;
+  { pool; id }
+
+let add_range t addr len =
+  let c = ctx t in
+  Ctx.log_range c ~sid:"pmdk:tx.add_range" ~tx:t.id addr len;
+  let tail = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.tail" Layout.off_tx_tail) in
+  if tail + 16 + len > Layout.log_area + Layout.log_size then raise Log_full;
+  let old = Ctx.read_bytes c ~sid:"pmdk:tx.old_data" addr len in
+  Ctx.write_u64 c ~sid:"pmdk:tx.entry_addr" tail (Tv.const addr);
+  Ctx.write_u64 c ~sid:"pmdk:tx.entry_len" (tail + 8) (Tv.const len);
+  Ctx.write_bytes c ~sid:"pmdk:tx.entry_data" (tail + 16) old;
+  Ctx.persist c ~sid:"pmdk:tx.entry_persist" tail (16 + len);
+  let count = Ctx.read_u64 c ~sid:"pmdk:tx.count" Layout.off_tx_count in
+  Ctx.write_u64 c ~sid:"pmdk:tx.count_bump" Layout.off_tx_count
+    (Tv.add count Tv.one);
+  Ctx.write_u64 c ~sid:"pmdk:tx.tail_bump" Layout.off_tx_tail
+    (Tv.const (tail + 16 + len));
+  Ctx.persist c ~sid:"pmdk:tx.count_persist" Layout.off_tx_count 16
+
+(* Persist all logged ranges, then retire the log. *)
+let commit t =
+  let c = ctx t in
+  let count = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.commit_count" Layout.off_tx_count) in
+  let rec flush_entries i tail =
+    if i < count then begin
+      let addr = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.commit_addr" tail) in
+      let len = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.commit_len" (tail + 8)) in
+      Ctx.flush_range c ~sid:"pmdk:tx.commit_flush" addr len;
+      flush_entries (i + 1) (tail + 16 + len)
+    end
+  in
+  flush_entries 0 Layout.log_area;
+  Ctx.fence c ~sid:"pmdk:tx.commit_fence";
+  Ctx.write_u64 c ~sid:"pmdk:tx.commit_state" Layout.off_tx_state (Tv.const 0);
+  Ctx.persist c ~sid:"pmdk:tx.commit_persist" Layout.off_tx_state 8;
+  Ctx.tx_commit c ~tx:t.id
+
+(* Roll back immediately using the in-pool log (explicit abort). *)
+let apply_undo c =
+  let count = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.rec_count" Layout.off_tx_count) in
+  (* Collect entry offsets in append order, then undo in reverse. *)
+  let rec offsets i tail acc =
+    if i >= count then acc
+    else begin
+      let len = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.rec_len" (tail + 8)) in
+      offsets (i + 1) (tail + 16 + len) (tail :: acc)
+    end
+  in
+  List.iter
+    (fun tail ->
+       let addr = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.rec_addr" tail) in
+       let len = Tv.value (Ctx.read_u64 c ~sid:"pmdk:tx.rec_len2" (tail + 8)) in
+       let old = Ctx.read_bytes c ~sid:"pmdk:tx.rec_data" (tail + 16) len in
+       Ctx.write_bytes c ~sid:"pmdk:tx.rec_undo" addr old;
+       Ctx.persist c ~sid:"pmdk:tx.rec_persist" addr len)
+    (offsets 0 Layout.log_area []);
+  Ctx.write_u64 c ~sid:"pmdk:tx.rec_state" Layout.off_tx_state (Tv.const 0);
+  Ctx.persist c ~sid:"pmdk:tx.rec_state_persist" Layout.off_tx_state 8
+
+let abort t =
+  let c = ctx t in
+  apply_undo c;
+  Ctx.tx_abort c ~tx:t.id
+
+(* Post-crash recovery; stores call this from their [recover]. *)
+let recover pool =
+  let c = Pool.ctx pool in
+  let state = Ctx.read_u64 c ~sid:"pmdk:tx.rec_check" Layout.off_tx_state in
+  if Tv.to_bool state then apply_undo c
+
+(* Run [f] in a transaction; an exception aborts (rolls back) and
+   re-raises. *)
+let run pool f =
+  let t = begin_ pool in
+  match f t with
+  | v -> commit t; v
+  | exception e -> abort t; raise e

@@ -1,0 +1,1 @@
+lib/stores/btree_tx.ml: Ctx List Nvm Pmdk String Tv Witcher

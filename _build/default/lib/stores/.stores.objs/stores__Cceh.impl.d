@@ -1,0 +1,1 @@
+lib/stores/cceh.ml: Bytes Ctx Int64 Nvm Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/fast_fair.ml: Bytes Ctx Int64 List Nvm Pmdk Pmem String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/hashmap_tx.ml: Ctx Nvm Pmdk String Tv Witcher

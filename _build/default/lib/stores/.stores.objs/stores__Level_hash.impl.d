@@ -1,0 +1,1 @@
+lib/stores/level_hash.ml: Ctx List Nvm Pmdk String Tv Witcher

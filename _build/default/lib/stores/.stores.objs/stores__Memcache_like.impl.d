@@ -1,0 +1,1 @@
+lib/stores/memcache_like.ml: Ctx List Nvm Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/p_art.ml: Ctx Nvm Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/p_masstree.ml: Ctx List Nvm Option Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/parray.ml: Bytes Ctx Int64 Nvm Pmdk String Taint Tv Witcher

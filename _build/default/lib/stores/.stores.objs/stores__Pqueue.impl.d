@@ -1,0 +1,1 @@
+lib/stores/pqueue.ml: Ctx Nvm Pmdk String Taint Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/redis_like.ml: Ctx Nvm Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/woart.ml: Ctx Nvm Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+lib/stores/wort.ml: Ctx Nvm Pmdk String Tv Witcher

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Ctx Hashtbl List Nvm Option Pmem Printf QCheck2 QCheck_alcotest Stores String Tv Witcher

@@ -1,0 +1,1 @@
+test/test_infer_gen.ml: Alcotest Ctx List Nvm Option Pmdk Pmem Stores Tv Witcher

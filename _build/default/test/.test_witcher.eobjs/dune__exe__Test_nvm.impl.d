@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Crash_sim Ctx List Nvm Pmem QCheck2 QCheck_alcotest String Taint Trace Tv Vec

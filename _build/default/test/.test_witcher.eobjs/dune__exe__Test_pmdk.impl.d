@@ -1,0 +1,1 @@
+test/test_pmdk.ml: Alcotest Crash_sim Ctx Nvm Pmdk Pmem String Trace Tv Witcher

@@ -1,0 +1,1 @@
+test/test_stores.ml: Alcotest Array Hashtbl List Nvm Option Printf QCheck2 QCheck_alcotest Stores Witcher

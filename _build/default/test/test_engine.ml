@@ -1,0 +1,337 @@
+(* End-to-end pipeline tests: the headline soundness properties of the
+   reproduction.
+
+   - No false positives: every *fixed* store variant passes the full
+     pipeline with zero correctness bugs (durable linearizability holds
+     for every generated crash image).
+   - Detection: every *buggy* variant's seeded defect classes are found.
+   - Performance detection, workload determinism, oracles, clustering,
+     and the 7.5/7.6 baselines. *)
+
+module W = Witcher
+module R = Stores.Registry
+
+let cfg ~n_ops =
+  { W.Engine.default_cfg with
+    workload = { W.Workload.default with n_ops };
+    crash = { W.Crash_gen.default_cfg with max_images = 1500 } }
+
+let fixed_clean_case (e : R.entry) =
+  Alcotest.test_case (e.name ^ " fixed is durable-linearizable") `Slow
+    (fun () ->
+       let r = W.Engine.run ~cfg:(cfg ~n_ops:120) (e.fixed ()) in
+       Alcotest.(check int) "C-O" 0 r.c_o;
+       Alcotest.(check int) "C-A" 0 r.c_a;
+       Alcotest.(check int) "mismatches" 0 r.n_mismatch)
+
+let buggy_detected_case (e : R.entry) =
+  Alcotest.test_case (e.name ^ " seeded bugs detected") `Slow (fun () ->
+      let r = W.Engine.run ~cfg:(cfg ~n_ops:150) (e.buggy ()) in
+      if e.paper_bug_ids <> [] then
+        Alcotest.(check bool)
+          (Printf.sprintf "found correctness bugs (got %d C-O, %d C-A)"
+             r.c_o r.c_a)
+          true
+          (r.c_o + r.c_a > 0)
+      else begin
+        (* clean programs (wort, c-tree, redis, p-queue) must stay clean *)
+        Alcotest.(check int) "C-O" 0 r.c_o;
+        Alcotest.(check int) "C-A" 0 r.c_a
+      end)
+
+let detection_suites =
+  List.concat_map
+    (fun (e : R.entry) -> [ buggy_detected_case e; fixed_clean_case e ])
+    R.all
+
+(* Bug-class checks on the flagship stores. *)
+let test_level_hash_classes () =
+  let r = W.Engine.run ~cfg:(cfg ~n_ops:150) (Stores.Level_hash.buggy ()) in
+  let has_site f =
+    List.exists (fun (rep : W.Cluster.report) -> f rep) r.site_pairs
+  in
+  Alcotest.(check bool) "Figure 1(b): token-before-slot ordering" true
+    (has_site (fun rep ->
+         rep.kind = W.Cluster.C_ordering
+         && rep.watch_sid = "lh:insert.token"));
+  Alcotest.(check bool) "Figure 1(c): two-token atomicity" true
+    (has_site (fun rep ->
+         rep.kind = W.Cluster.C_atomicity
+         && (rep.watch_sid = "lh:update.clear_old"
+             || rep.watch_sid = "lh:update.set_new")));
+  Alcotest.(check bool) "extra flush reported" true
+    (W.Perf.n_bugs r.perf.p_efl > 0)
+
+let test_memcached_stats_p_u () =
+  let r = W.Engine.run ~cfg:(cfg ~n_ops:200) (Stores.Memcache_like.buggy ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "many unpersisted stat counters (got %d)"
+       (W.Perf.n_bugs r.perf.p_u))
+    true
+    (W.Perf.n_bugs r.perf.p_u >= 15)
+
+let test_uaf_detected () =
+  let r = W.Engine.run ~cfg:(cfg ~n_ops:150) (Stores.Hashmap_tx.buggy ()) in
+  Alcotest.(check bool) "use-after-free found" true (r.c_o + r.c_a > 0)
+
+(* Oracle construction: rolled-back oracle differs from committed exactly
+   when the removed op mattered. *)
+let test_rolled_back_oracle () =
+  let e = Option.get (R.find "level-hash") in
+  let module S = (val e.fixed ()) in
+  let ops = [ W.Op.Insert (1, "aaa"); W.Op.Query 1; W.Op.Query 2 ] in
+  let r = W.Driver.record (module S) ops in
+  let checker = W.Equiv.create (module S) ~ops:r.ops ~committed:r.outputs in
+  ignore checker;
+  let rb = W.Driver.run_quiet (module S) [ W.Op.Query 1; W.Op.Query 2 ] in
+  Alcotest.(check string) "query 1 rolled back" "notfound"
+    (W.Output.to_string rb.(0))
+
+(* Workload generation: deterministic, biased toward used keys. *)
+let test_workload_determinism () =
+  let a = W.Workload.generate W.Workload.default in
+  let b = W.Workload.generate W.Workload.default in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iter2
+    (fun x y -> Alcotest.(check string) "same op" (W.Op.desc x) (W.Op.desc y))
+    a b;
+  let c = W.Workload.generate { W.Workload.default with seed = 7 } in
+  Alcotest.(check bool) "different seed differs" true
+    (List.exists2 (fun x y -> W.Op.desc x <> W.Op.desc y) a c)
+
+let test_workload_bias () =
+  let ops = W.Workload.generate { W.Workload.default with n_ops = 500 } in
+  let inserted = Hashtbl.create 64 in
+  let hits = ref 0 and lookups = ref 0 in
+  List.iter
+    (fun op ->
+       match op with
+       | W.Op.Insert (k, _) -> Hashtbl.replace inserted k ()
+       | W.Op.Query k | W.Op.Delete k | W.Op.Update (k, _) | W.Op.Scan (k, _) ->
+         incr lookups;
+         if Hashtbl.mem inserted k then incr hits)
+    ops;
+  Alcotest.(check bool) "most non-inserts touch existing keys" true
+    (float_of_int !hits /. float_of_int (max 1 !lookups) > 0.7)
+
+(* Output equivalence ignores representation, compares values. *)
+let test_output_equal () =
+  Alcotest.(check bool) "found eq" true
+    (W.Output.equal (W.Output.Found "x") (W.Output.Found "x"));
+  Alcotest.(check bool) "crashed never equal" false
+    (W.Output.equal (W.Output.Crashed "a") (W.Output.Crashed "a"));
+  Alcotest.(check bool) "vals" true
+    (W.Output.equal (W.Output.Vals [ "a"; "b" ]) (W.Output.Vals [ "a"; "b" ]))
+
+(* Baselines (7.6): the Agamotto-style TX checker sees btree's missing
+   log; the PMTest-style annotation flags the benign redis store that
+   Witcher correctly ignores. *)
+let test_agamotto_missing_log () =
+  let module S = (val Stores.Btree_tx.buggy ()) in
+  let ops =
+    W.Workload.generate { W.Workload.default with n_ops = 150 }
+  in
+  let r = W.Driver.record (module S) ops in
+  let aga = W.Baselines.agamotto r.trace in
+  Alcotest.(check bool) "missing log seen" true (aga.missing_log_sites <> [])
+
+let test_pmtest_redis_false_positive () =
+  let module S = (val Stores.Redis_like.make ()) in
+  let ops =
+    W.Workload.generate (W.Workload.no_scan { W.Workload.default with n_ops = 60 })
+  in
+  let r = W.Driver.record (module S) ops in
+  let viol =
+    W.Baselines.pmtest r.trace ~pool_size:r.pool_size
+      ~annotations:[ W.Baselines.In_tx { sid = "redis:init.zero_root" } ]
+  in
+  Alcotest.(check bool) "annotation fires (false positive)" true (viol <> []);
+  let res = W.Engine.run ~cfg:(cfg ~n_ops:60) (Stores.Redis_like.make ()) in
+  Alcotest.(check int) "witcher prunes it" 0 (res.c_o + res.c_a)
+
+(* Performance detectors on a hand trace. *)
+let test_perf_detectors () =
+  let open Nvm in
+  let ctx = Ctx.create ~mode:Record (Pmem.create 4096) in
+  Ctx.op_begin ctx ~index:0 ~desc:"t";
+  (* P-EFE: fence with no flush *)
+  Ctx.fence ctx ~sid:"efe";
+  (* P-EFL: flush twice *)
+  Ctx.write_u64 ctx ~sid:"w" 128 Tv.one;
+  Ctx.flush ctx ~sid:"fl1" 128;
+  Ctx.flush ctx ~sid:"fl2" 128;
+  Ctx.fence ctx ~sid:"fe";
+  (* P-U: never flushed *)
+  Ctx.write_u64 ctx ~sid:"pu" 512 Tv.one;
+  let perf = W.Perf.detect (Ctx.trace ctx) in
+  Alcotest.(check int) "P-EFE" 1 (W.Perf.n_bugs perf.p_efe);
+  Alcotest.(check int) "P-EFL" 1 (W.Perf.n_bugs perf.p_efl);
+  Alcotest.(check int) "P-U" 1 (W.Perf.n_bugs perf.p_u)
+
+(* qcheck: for the fixed level-hash, every crash image Witcher generates
+   passes output equivalence — the durable-linearizability property, at
+   random seeds. *)
+let prop_fixed_durable =
+  QCheck2.Test.make ~name:"fixed level-hash durable-linearizable (seeds)"
+    ~count:6
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let c =
+         { W.Engine.default_cfg with
+           workload = { W.Workload.default with n_ops = 60; seed };
+           crash = { W.Crash_gen.default_cfg with max_images = 400 } }
+       in
+       let r = W.Engine.run ~cfg:c (Stores.Level_hash.fixed ()) in
+       r.n_mismatch = 0)
+
+let prop_buggy_found =
+  QCheck2.Test.make ~name:"buggy level-hash caught (seeds)" ~count:6
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let c =
+         { W.Engine.default_cfg with
+           workload = { W.Workload.default with n_ops = 80; seed };
+           crash = { W.Crash_gen.default_cfg with max_images = 600 } }
+       in
+       let r = W.Engine.run ~cfg:c (Stores.Level_hash.buggy ()) in
+       r.c_o + r.c_a > 0)
+
+(* Recovery idempotence: opening a crash image twice must not change the
+   observable state a third open sees. *)
+let test_recovery_idempotent () =
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       let module S = (val e.fixed ()) in
+       let ops =
+         W.Workload.generate
+           (W.Workload.no_scan { W.Workload.default with n_ops = 60 })
+       in
+       let r = W.Driver.record (module S) ops in
+       let img = Nvm.Pmem.of_snapshot r.final_image in
+       let open_once () =
+         let ctx = Nvm.Ctx.create ~mode:Nvm.Ctx.Quiet ~fuel:1_000_000 img in
+         ignore (S.open_ ctx)
+       in
+       open_once ();
+       let snap1 = Nvm.Pmem.snapshot img in
+       open_once ();
+       let snap2 = Nvm.Pmem.snapshot img in
+       Alcotest.(check bool) (name ^ " recover twice = once") true
+         (String.equal snap1 snap2))
+    [ "level-hash"; "cceh"; "fast-fair"; "b-tree"; "hashmap-tx" ]
+
+(* Clustering: many failing images with one root cause collapse. *)
+let test_clustering_collapses () =
+  let r = W.Engine.run ~cfg:(cfg ~n_ops:150) (Stores.Level_hash.buggy ()) in
+  Alcotest.(check bool) "mismatches >= clusters" true
+    (r.n_mismatch >= r.n_clusters);
+  Alcotest.(check bool) "clusters >= root causes" true
+    (r.n_clusters >= List.length r.bug_reports);
+  Alcotest.(check bool) "root causes > 0" true (r.bug_reports <> [])
+
+(* Report formatting must never raise and must mention the store name. *)
+let test_report_smoke () =
+  let r = W.Engine.run ~cfg:(cfg ~n_ops:60) (Stores.Cceh.buggy ()) in
+  let row = W.Report.result_row r in
+  Alcotest.(check bool) "row mentions store" true
+    (String.length row > 0
+     && String.sub row 0 4 = "cceh");
+  let t1 = W.Report.table1 () and t2 = W.Report.table2 () in
+  Alcotest.(check bool) "tables render" true
+    (String.length t1 > 100 && String.length t2 > 100);
+  ignore (W.Report.bug_list r)
+
+(* The final committed image resumed from scratch equals the committed
+   outputs: equivalence checking of a "crash after the last op" state. *)
+let test_final_image_consistent () =
+  let e = Option.get (R.find "fast-fair") in
+  let module S = (val e.fixed ()) in
+  let ops = W.Workload.generate { W.Workload.default with n_ops = 100 } in
+  let r = W.Driver.record (module S) ops in
+  (* replay only guaranteed stores (the real durable state), then re-run
+     read-only queries for every key and compare to a fresh run *)
+  let img = Nvm.Pmem.of_snapshot r.final_image in
+  let checker = W.Equiv.create (module S) ~ops:r.ops ~committed:r.outputs in
+  match W.Equiv.check checker ~img ~crash_op:(Array.length r.ops) with
+  | W.Equiv.Consistent -> ()
+  | W.Equiv.Inconsistent _ -> Alcotest.fail "final image diverged"
+
+(* Random exploration runs and respects feasibility (no crash). *)
+let test_random_explore_smoke () =
+  let e = Option.get (R.find "level-hash") in
+  let module S = (val e.fixed ()) in
+  let ops =
+    W.Workload.generate (W.Workload.no_scan { W.Workload.default with n_ops = 30 })
+  in
+  let r = W.Driver.record (module S) ops in
+  let checker = W.Equiv.create (module S) ~ops:r.ops ~committed:r.outputs in
+  let res =
+    W.Random_explore.run ~trace:r.trace ~pool_size:r.pool_size
+      ~samples_per_fence:1
+      ~check:(fun ~img ~crash_op -> W.Equiv.check checker ~img ~crash_op)
+      ()
+  in
+  Alcotest.(check bool) "sampled" true (res.sampled > 0);
+  Alcotest.(check int) "fixed store never diverges, even at random states"
+    0 res.mismatches
+
+(* Yat estimate is monotone and spikes with workload size. *)
+let test_yat_estimate_monotone () =
+  let e = Option.get (R.find "level-hash") in
+  let module S = (val e.buggy ()) in
+  let ops =
+    W.Workload.generate (W.Workload.no_scan { W.Workload.default with n_ops = 120 })
+  in
+  let r = W.Driver.record (module S) ops in
+  let series =
+    W.Yat.estimate ~trace:r.trace ~pool_size:r.pool_size
+      ~per_op_images:(Hashtbl.create 1) ~n_ops:120
+  in
+  let arr = series.yat_log10 in
+  let ok = ref true in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) < arr.(i - 1) -. 1e-9 then ok := false
+  done;
+  Alcotest.(check bool) "monotone cumulative" true !ok;
+  Alcotest.(check bool) "nontrivial" true (arr.(Array.length arr - 1) > 1.0)
+
+(* The CCEH fixed variant's directory recovery: force a half-rewritten
+   chunk and check recovery repoints it to the coarse segment. *)
+let test_cceh_recovery_via_pipeline () =
+  let r =
+    W.Engine.run
+      ~cfg:
+        { W.Engine.default_cfg with
+          workload =
+            W.Workload.no_scan
+              { W.Workload.default with n_ops = 250; key_space = 300 } }
+      (Stores.Cceh.fixed ())
+  in
+  Alcotest.(check int) "dense cceh fixed clean" 0 (r.c_o + r.c_a)
+
+let suite =
+  detection_suites
+  @ [ Alcotest.test_case "level-hash bug classes" `Slow test_level_hash_classes;
+      Alcotest.test_case "memcached stats P-U" `Slow test_memcached_stats_p_u;
+      Alcotest.test_case "hashmap-tx UAF" `Slow test_uaf_detected;
+      Alcotest.test_case "rolled-back oracle" `Quick test_rolled_back_oracle;
+      Alcotest.test_case "workload determinism" `Quick test_workload_determinism;
+      Alcotest.test_case "workload key bias" `Quick test_workload_bias;
+      Alcotest.test_case "output equality" `Quick test_output_equal;
+      Alcotest.test_case "agamotto-style TX checker" `Quick
+        test_agamotto_missing_log;
+      Alcotest.test_case "pmtest redis false positive" `Quick
+        test_pmtest_redis_false_positive;
+      Alcotest.test_case "perf detectors (hand trace)" `Quick test_perf_detectors;
+      Alcotest.test_case "recovery idempotence" `Quick test_recovery_idempotent;
+      Alcotest.test_case "clustering collapses" `Slow test_clustering_collapses;
+      Alcotest.test_case "report formatting" `Quick test_report_smoke;
+      Alcotest.test_case "final image consistent" `Quick test_final_image_consistent;
+      Alcotest.test_case "random explore (fixed store clean)" `Quick
+        test_random_explore_smoke;
+      Alcotest.test_case "yat estimate monotone" `Quick test_yat_estimate_monotone;
+      Alcotest.test_case "cceh fixed dense workload" `Slow
+        test_cceh_recovery_via_pipeline;
+      QCheck_alcotest.to_alcotest prop_fixed_durable;
+      QCheck_alcotest.to_alcotest prop_buggy_found ]

@@ -1,0 +1,200 @@
+(* Unit and property tests for the NVM substrate: tainted values, the
+   trace recorder, the pool, the instrumented context and, most
+   importantly, the persistence state machine (flush/fence guarantees and
+   per-line prefix-closure feasibility). *)
+
+open Nvm
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Vec --- *)
+
+let test_vec () =
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 99 do Vec.push v i done;
+  check "len" 100 (Vec.length v);
+  check "get" 42 (Vec.get v 42);
+  Vec.set v 42 7;
+  check "set" 7 (Vec.get v 42);
+  check "fold" (4950 - 42 + 7) (Vec.fold_left ( + ) 0 v)
+
+(* --- Taint / Tv --- *)
+
+let test_taint () =
+  let t1 = Taint.singleton 1 and t2 = Taint.singleton 2 in
+  let u = Taint.union t1 t2 in
+  check "card" 2 (Taint.cardinal u);
+  checkb "mem" true (Taint.mem 1 u);
+  checkb "empty" true (Taint.is_empty Taint.empty)
+
+let test_tv_arith () =
+  let a = Tv.make ~taint:(Taint.singleton 1) 10 in
+  let b = Tv.make ~taint:(Taint.singleton 2) 32 in
+  let c = Tv.add a b in
+  check "value" 42 (Tv.value c);
+  check "taint union" 2 (Taint.cardinal (Tv.taint c));
+  let d = Tv.eq a b in
+  checkb "eq false" false (Tv.to_bool d);
+  check "cmp taint" 2 (Taint.cardinal (Tv.taint d))
+
+(* --- Pmem --- *)
+
+let test_pmem () =
+  let p = Pmem.create 256 in
+  Pmem.write_u64 p 8 0xdeadbeef;
+  check "u64" 0xdeadbeef (Pmem.read_u64 p 8);
+  Pmem.write_bytes p 100 "hello";
+  Alcotest.(check string) "bytes" "hello" (Pmem.read_bytes p 100 5);
+  (match Pmem.read_u64 p 252 with
+   | _ -> Alcotest.fail "expected fault"
+   | exception Pmem.Fault _ -> ());
+  let s = Pmem.snapshot p in
+  let p' = Pmem.of_snapshot s in
+  check "snapshot" 0xdeadbeef (Pmem.read_u64 p' 8)
+
+(* --- Ctx: tracing, guards, line splitting --- *)
+
+let test_ctx_trace () =
+  let p = Pmem.create 1024 in
+  let ctx = Ctx.create ~mode:Record p in
+  Ctx.op_begin ctx ~index:0 ~desc:"t";
+  let v = Ctx.read_u64 ctx ~sid:"a" 0 in
+  Ctx.write_u64 ctx ~sid:"b" 64 (Tv.add v Tv.one);
+  let tr = Ctx.trace ctx in
+  (* event 0 is Op_begin, 1 the load, 2 the store *)
+  (match Trace.get tr 2 with
+   | Trace.Store s ->
+     check "dd card" 1 (Taint.cardinal s.s_dd);
+     checkb "dd is load 1" true (Taint.mem 1 s.s_dd)
+   | _ -> Alcotest.fail "expected store");
+  (* guarded load carries cd *)
+  let g = Ctx.read_u64 ctx ~sid:"guard" 8 in
+  Ctx.when_ ctx (Tv.retaint Tv.one (Tv.taint g)) (fun () ->
+      ignore (Ctx.read_u64 ctx ~sid:"inner" 16));
+  (match Trace.get tr (Trace.length tr - 1) with
+   | Trace.Load l -> checkb "cd nonempty" false (Taint.is_empty l.l_cd)
+   | _ -> Alcotest.fail "expected load")
+
+let test_ctx_line_split () =
+  let p = Pmem.create 1024 in
+  let ctx = Ctx.create ~mode:Record p in
+  Ctx.op_begin ctx ~index:0 ~desc:"t";
+  (* 16 bytes crossing a line boundary at 64 *)
+  Ctx.write_bytes ctx ~sid:"x" 56 (Tv.blob (String.make 16 'z'));
+  let tr = Ctx.trace ctx in
+  check "two stores" 2 tr.n_stores;
+  (match Trace.get tr 1, Trace.get tr 2 with
+   | Trace.Store a, Trace.Store b ->
+     check "first len" 8 a.s_len;
+     check "second len" 8 b.s_len;
+     check "second addr" 64 b.s_addr
+   | _ -> Alcotest.fail "stores expected")
+
+let test_ctx_fuel () =
+  let p = Pmem.create 1024 in
+  let ctx = Ctx.create ~mode:Quiet ~fuel:10 p in
+  match
+    for _ = 1 to 20 do ignore (Ctx.read_u64 ctx ~sid:"x" 0) done
+  with
+  | () -> Alcotest.fail "expected fuel exhaustion"
+  | exception Ctx.Fuel_exhausted -> ()
+
+(* --- Crash_sim: flush/fence semantics --- *)
+
+let store_ev tid addr data : Trace.store_ev =
+  { s_tid = tid; s_sid = "s" ^ string_of_int tid; s_addr = addr;
+    s_len = String.length data; s_data = data; s_dd = Taint.empty;
+    s_cd = Taint.empty; s_op = 0 }
+
+let test_sim_guarantee () =
+  let sim = Crash_sim.create ~pool_size:1024 in
+  Crash_sim.on_store sim (store_ev 0 0 "aaaaaaaa");
+  checkb "dirty not guaranteed" false (Crash_sim.is_guaranteed sim 0);
+  Crash_sim.on_flush sim 0;
+  checkb "flushed not yet guaranteed" false (Crash_sim.is_guaranteed sim 0);
+  Crash_sim.on_fence sim;
+  checkb "fenced guaranteed" true (Crash_sim.is_guaranteed sim 0);
+  (* a store after the flush is not covered *)
+  Crash_sim.on_store sim (store_ev 1 8 "bbbbbbbb");
+  Crash_sim.on_fence sim;
+  checkb "unflushed store survives fences" false (Crash_sim.is_guaranteed sim 1)
+
+let test_sim_closure () =
+  let sim = Crash_sim.create ~pool_size:1024 in
+  (* two stores on line 0, one on line 1 *)
+  Crash_sim.on_store sim (store_ev 0 0 "11111111");
+  Crash_sim.on_store sim (store_ev 1 8 "22222222");
+  Crash_sim.on_store sim (store_ev 2 64 "33333333");
+  (* persisting tid 1 forces tid 0 (same line, earlier), not tid 2 *)
+  (match Crash_sim.feasible_extras sim ~persist:[ 1 ] ~avoid:[ 2 ] with
+   | Some extras ->
+     Alcotest.(check (list int)) "closure" [ 0; 1 ] (List.sort compare extras)
+   | None -> Alcotest.fail "expected feasible");
+  (* cannot persist tid 1 while avoiding tid 0 *)
+  checkb "prefix conflict" true
+    (Crash_sim.feasible_extras sim ~persist:[ 1 ] ~avoid:[ 0 ] = None)
+
+let test_sim_materialize () =
+  let sim = Crash_sim.create ~pool_size:1024 in
+  Crash_sim.on_store sim (store_ev 0 0 "11111111");
+  Crash_sim.on_store sim (store_ev 1 0 "22222222");
+  Crash_sim.on_flush sim 0;
+  Crash_sim.on_fence sim;
+  (* both guaranteed; latest wins in the image *)
+  let img = Crash_sim.materialize sim ~extras:[] in
+  Alcotest.(check string) "latest bytes" "22222222" (Pmem.read_bytes img 0 8)
+
+(* qcheck: any feasible extras set is per-line prefix-closed *)
+let prop_prefix_closed =
+  QCheck2.Test.make ~name:"feasible extras are per-line prefix-closed"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) (pair (int_range 0 31) (int_range 0 2)))
+    (fun ops ->
+       let sim = Crash_sim.create ~pool_size:4096 in
+       let tid = ref 0 in
+       let stores = ref [] in
+       List.iter
+         (fun (word, kind) ->
+            match kind with
+            | 0 | 1 ->
+              let addr = word * 8 in
+              Crash_sim.on_store sim (store_ev !tid addr "xxxxxxxx");
+              stores := (!tid, addr) :: !stores;
+              incr tid
+            | _ ->
+              Crash_sim.on_flush sim (Pmem.line_of_addr (word * 8));
+              Crash_sim.on_fence sim)
+         ops;
+       match !stores with
+       | [] -> true
+       | (t0, _) :: _ ->
+         (match Crash_sim.feasible_extras sim ~persist:[ t0 ] ~avoid:[] with
+          | None -> true
+          | Some extras ->
+            (* every extra's same-line predecessors are in the set or
+               guaranteed *)
+            List.for_all
+              (fun e ->
+                 List.for_all
+                   (fun (t, a) ->
+                      let e_addr = List.assoc e !stores in
+                      if t < e
+                      && Pmem.line_of_addr a = Pmem.line_of_addr e_addr then
+                        List.mem t extras || Crash_sim.is_guaranteed sim t
+                      else true)
+                   !stores)
+              extras))
+
+let suite =
+  [ Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "taint" `Quick test_taint;
+    Alcotest.test_case "tv arithmetic taints" `Quick test_tv_arith;
+    Alcotest.test_case "pmem bounds + snapshot" `Quick test_pmem;
+    Alcotest.test_case "ctx records dd/cd" `Quick test_ctx_trace;
+    Alcotest.test_case "ctx splits at line boundary" `Quick test_ctx_line_split;
+    Alcotest.test_case "ctx fuel" `Quick test_ctx_fuel;
+    Alcotest.test_case "sim flush+fence guarantee" `Quick test_sim_guarantee;
+    Alcotest.test_case "sim per-line closure" `Quick test_sim_closure;
+    Alcotest.test_case "sim materialize latest-wins" `Quick test_sim_materialize;
+    QCheck_alcotest.to_alcotest prop_prefix_closed ]

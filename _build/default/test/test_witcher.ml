@@ -1,0 +1,11 @@
+(* Test runner: every suite registered under one alcotest binary.
+   `dune runtest` runs everything; ALCOTEST_QUICK_TESTS=1 skips the
+   slow end-to-end detection sweep. *)
+
+let () =
+  Alcotest.run "witcher"
+    [ ("nvm", Test_nvm.suite);
+      ("pmdk", Test_pmdk.suite);
+      ("infer+crashgen", Test_infer_gen.suite);
+      ("stores", Test_stores.suite);
+      ("engine", Test_engine.suite) ]
