@@ -1,1 +1,1 @@
-bin/witcher_cli.ml: Arg Cmd Cmdliner Fmt Format List Nvm Printf Stores Term Witcher
+bin/witcher_cli.ml: Arg Campaign Cmd Cmdliner Filename Fmt Format List Manpage Nvm Printf Stores Term Witcher

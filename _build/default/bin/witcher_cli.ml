@@ -1,14 +1,18 @@
 (* The witcher command-line tool: run the crash-consistency pipeline on
-   any registered store, inspect traces, or list the registry.
+   any registered store, sweep the whole registry as a parallel campaign,
+   inspect traces, or list the registry.
 
-     witcher list
-     witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v]
+     witcher list [--json]
+     witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v] [--json]
+     witcher campaign -j 4 [--stores a,b] [--seeds 1,2,3] [--fixed-too]
+                      [--out dir] [--resume]
      witcher trace -s cceh -n 20 [--head 80]
      witcher perf -s memcached -n 200
 *)
 
 module W = Witcher
 module R = Stores.Registry
+module C = Campaign
 
 let store_arg =
   let open Cmdliner in
@@ -38,6 +42,10 @@ let max_images_arg =
   let open Cmdliner in
   Arg.(value & opt int 4000 & info [ "max-images" ] ~docv:"N" ~doc:"Crash-image test budget.")
 
+let json_arg =
+  let open Cmdliner in
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
 let lookup name =
   match R.find name with
   | Some e -> e
@@ -50,39 +58,98 @@ let engine_cfg ~ops ~seed ~max_images =
     workload = { W.Workload.default with n_ops = ops; seed };
     crash = { W.Crash_gen.default_cfg with max_images } }
 
-let list_cmd () =
-  Printf.printf "%-16s %-13s %-4s %s\n" "name" "group" "lib" "construct";
-  List.iter
-    (fun (e : R.entry) ->
-       Printf.printf "%-16s %-13s %-4s %s\n" e.name (R.group_name e.group)
-         (match e.lib with `LL -> "LL" | `TX -> "TX")
-         e.construct)
-    R.all
+let list_cmd json =
+  if json then begin
+    let entries =
+      List.map
+        (fun (e : R.entry) ->
+           C.Jsonx.Obj
+             [ ("name", C.Jsonx.Str e.name);
+               ("group", C.Jsonx.Str (R.group_name e.group));
+               ("lib", C.Jsonx.Str (match e.lib with `LL -> "LL" | `TX -> "TX"));
+               ("construct", C.Jsonx.Str e.construct);
+               ("paper_bug_ids",
+                C.Jsonx.List (List.map (fun i -> C.Jsonx.Int i) e.paper_bug_ids)) ])
+        R.all
+    in
+    print_endline (C.Jsonx.to_string (C.Jsonx.List entries))
+  end
+  else begin
+    Printf.printf "%-16s %-13s %-4s %s\n" "name" "group" "lib" "construct";
+    List.iter
+      (fun (e : R.entry) ->
+         Printf.printf "%-16s %-13s %-4s %s\n" e.name (R.group_name e.group)
+           (match e.lib with `LL -> "LL" | `TX -> "TX")
+           e.construct)
+      R.all
+  end;
+  0
 
-let run_cmd store fixed ops seed max_images verbose =
+let run_cmd store fixed ops seed max_images verbose json =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
   let r = W.Engine.run ~cfg:(engine_cfg ~ops ~seed ~max_images) instance in
-  print_endline (W.Report.result_header ());
-  print_endline (W.Report.result_row r);
-  print_newline ();
-  if r.bug_reports = [] then
-    print_endline "No crash-consistency bugs detected."
+  if json then
+    print_endline (C.Jsonx.to_string (C.Journal.result_json r))
   else begin
-    Printf.printf "%d correctness root cause(s):\n" (List.length r.bug_reports);
-    List.iteri
-      (fun i rep ->
-         Printf.printf "%2d. %s\n" (i + 1) (Fmt.str "%a" W.Cluster.pp_report rep))
-      r.bug_reports
+    print_endline (W.Report.result_header ());
+    print_endline (W.Report.result_row r);
+    print_newline ();
+    if r.bug_reports = [] then
+      print_endline "No crash-consistency bugs detected."
+    else begin
+      Printf.printf "%d correctness root cause(s):\n" (List.length r.bug_reports);
+      List.iteri
+        (fun i rep ->
+           Printf.printf "%2d. %s\n" (i + 1) (Fmt.str "%a" W.Cluster.pp_report rep))
+        r.bug_reports
+    end;
+    if verbose then begin
+      Printf.printf "\nAll %d clusters:\n" (List.length r.all_clusters);
+      List.iter
+        (fun rep -> Printf.printf "  %s\n" (Fmt.str "%a" W.Cluster.pp_report rep))
+        r.all_clusters
+    end;
+    print_newline ();
+    print_string (W.Report.bug_list r)
   end;
-  if verbose then begin
-    Printf.printf "\nAll %d clusters:\n" (List.length r.all_clusters);
-    List.iter
-      (fun rep -> Printf.printf "  %s\n" (Fmt.str "%a" W.Cluster.pp_report rep))
-      r.all_clusters
-  end;
-  print_newline ();
-  print_string (W.Report.bug_list r)
+  (* exit-code contract: campaigns and CI gate on this *)
+  if r.bug_reports = [] then 0 else 1
+
+let campaign_cmd jobs_n stores seeds fixed_too ops max_images timeout out
+    resume json =
+  let plan_cfg =
+    { C.Planner.stores; seeds; fixed_too; n_ops = ops; max_images }
+  in
+  match C.Planner.plan plan_cfg with
+  | Error msg ->
+    Printf.eprintf "campaign: %s\n" msg;
+    2
+  | Ok jobs ->
+    let cfg =
+      { C.Orchestrator.j = jobs_n; timeout; out_dir = out; resume;
+        progress = (fun line -> Printf.eprintf "%s\n%!" line) }
+    in
+    Printf.eprintf "campaign: %d job(s), -j %d, journal %s\n%!"
+      (List.length jobs) jobs_n
+      (Filename.concat out "journal.jsonl");
+    let s = C.Orchestrator.run_matrix cfg ~jobs in
+    Printf.eprintf "campaign: executed %d, skipped %d (journaled), %.1fs\n%!"
+      s.executed s.skipped s.elapsed;
+    if json then
+      print_endline
+        (C.Jsonx.to_string
+           (C.Aggregate.to_json ~elapsed:s.elapsed ~j:jobs_n s.aggregate))
+    else
+      print_string (C.Aggregate.to_text ~elapsed:s.elapsed ~j:jobs_n s.aggregate);
+    if List.exists
+         (fun (r : C.Journal.record) ->
+            match r.status with
+            | C.Journal.Job_failed _ | C.Journal.Job_timeout -> true
+            | C.Journal.Job_ok -> false)
+         s.records
+    then 1
+    else 0
 
 let trace_cmd store ops seed head =
   let e = lookup store in
@@ -96,7 +163,8 @@ let trace_cmd store ops seed head =
   let n = min head (Nvm.Trace.length r.trace) in
   for i = 0 to n - 1 do
     Format.printf "%a@." Nvm.Trace.pp_event (Nvm.Trace.get r.trace i)
-  done
+  done;
+  0
 
 let perf_cmd store ops seed =
   let e = lookup store in
@@ -115,14 +183,80 @@ let perf_cmd store ops seed =
     [ "P-U (unpersisted)", perf.p_u;
       "P-EFL (extra flush)", perf.p_efl;
       "P-EFE (extra fence)", perf.p_efe;
-      "P-EL (extra logging)", perf.p_el ]
+      "P-EL (extra logging)", perf.p_el ];
+  0
 
 open Cmdliner
 
-let list_t = Term.(const list_cmd $ const ())
+(* keep cmdliner's 123/124/125 conventions but replace its generic "0 on
+   success" with the tool's contract *)
+let non_ok_defaults =
+  List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+
+let run_exits =
+  [ Cmd.Exit.info 0 ~doc:"no correctness root cause was found.";
+    Cmd.Exit.info 1 ~doc:"at least one correctness root cause (C-O/C-A) was found.";
+    Cmd.Exit.info 2 ~doc:"usage error: unknown store or bad flags." ]
+  @ non_ok_defaults
+
+let campaign_exits =
+  [ Cmd.Exit.info 0 ~doc:"every job in the matrix completed.";
+    Cmd.Exit.info 1 ~doc:"the sweep completed but some job failed or timed out.";
+    Cmd.Exit.info 2 ~doc:"planning error: unknown store or empty matrix." ]
+  @ non_ok_defaults
+
+let run_man =
+  [ `S Manpage.s_exit_status;
+    `P "$(b,witcher run) exits 0 when the store shows no correctness \
+        root cause, 1 when at least one C-O/C-A root cause is reported \
+        (so CI pipelines and campaign scripts can gate on it), and 2 on \
+        usage errors such as an unknown store name." ]
+
+let list_t = Term.(const list_cmd $ json_arg)
 let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
-        $ max_images_arg $ verbose_arg)
+        $ max_images_arg $ verbose_arg $ json_arg)
+
+let campaign_t =
+  let j =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker processes to fork.")
+  in
+  let stores =
+    Arg.(value & opt (some (list string)) None
+         & info [ "stores" ] ~docv:"A,B,..."
+             ~doc:"Comma-separated store subset (default: whole registry).")
+  in
+  let seeds =
+    Arg.(value & opt (list int) [ 42 ]
+         & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Workload seeds to sweep.")
+  in
+  let fixed_too =
+    Arg.(value & flag
+         & info [ "fixed-too" ]
+             ~doc:"Also run every store's repaired variant (Table 5 style).")
+  in
+  let timeout =
+    Arg.(value & opt float 300.
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Per-job wall-clock budget; over-budget workers are killed \
+                   and journaled as timeouts.")
+  in
+  let out =
+    Arg.(value & opt string "campaign-out"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Output directory: journal.jsonl, report.txt, report.json.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Skip jobs whose key already has a terminal journal entry \
+                   (timeouts are retried); without this flag the journal is \
+                   restarted from scratch.")
+  in
+  Term.(const campaign_cmd $ j $ stores $ seeds $ fixed_too $ ops_arg
+        $ max_images_arg $ timeout $ out $ resume $ json_arg)
+
 let trace_t =
   let head =
     Arg.(value & opt int 60 & info [ "head" ] ~docv:"N" ~doc:"Events to print.")
@@ -132,7 +266,15 @@ let perf_t = Term.(const perf_cmd $ store_arg $ ops_arg $ seed_arg)
 
 let cmds =
   [ Cmd.v (Cmd.info "list" ~doc:"List the registered NVM programs.") list_t;
-    Cmd.v (Cmd.info "run" ~doc:"Run the full Witcher pipeline on a store.") run_t;
+    Cmd.v (Cmd.info "run" ~doc:"Run the full Witcher pipeline on a store."
+             ~exits:run_exits ~man:run_man)
+      run_t;
+    Cmd.v
+      (Cmd.info "campaign"
+         ~doc:"Run the evaluation matrix (stores x variants x seeds) as a \
+               parallel, resumable, fault-isolated sweep."
+         ~exits:campaign_exits)
+      campaign_t;
     Cmd.v (Cmd.info "trace" ~doc:"Record and print an instrumented trace.") trace_t;
     Cmd.v (Cmd.info "perf" ~doc:"Run only the performance-bug detector.") perf_t ]
 
@@ -141,4 +283,4 @@ let () =
     Cmd.info "witcher" ~version:"1.0.0"
       ~doc:"Systematic crash-consistency testing for (simulated) NVM key-value stores"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  exit (Cmd.eval' (Cmd.group info cmds))

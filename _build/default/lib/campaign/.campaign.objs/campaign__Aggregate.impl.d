@@ -1,0 +1,1 @@
+lib/campaign/aggregate.ml: Buffer Hashtbl Job Journal Jsonx List Printf String

@@ -1,0 +1,1 @@
+lib/campaign/job.ml: Digest Jsonx Option Printf

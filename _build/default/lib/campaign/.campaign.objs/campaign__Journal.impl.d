@@ -1,0 +1,1 @@
+lib/campaign/journal.ml: Hashtbl Job Jsonx List Pool String Sys Witcher

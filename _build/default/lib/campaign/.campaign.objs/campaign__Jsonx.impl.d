@@ -1,0 +1,1 @@
+lib/campaign/jsonx.ml: Buffer Char Float List Option Printf String

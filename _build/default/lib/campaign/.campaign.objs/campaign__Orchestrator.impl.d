@@ -1,0 +1,1 @@
+lib/campaign/orchestrator.ml: Aggregate Filename Hashtbl Job Journal Jsonx List Pool Printf Stores Sys Unix Witcher

@@ -1,0 +1,1 @@
+lib/campaign/planner.ml: Job List Printf Stores String

@@ -1,0 +1,1 @@
+lib/campaign/pool.ml: Buffer Bytes Hashtbl Job Jsonx List Printexc Printf Queue Result String Sys Unix

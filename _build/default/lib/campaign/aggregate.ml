@@ -1,0 +1,170 @@
+(* Fold a campaign journal into Table 4/5-style reports: one row per
+   (store, variant) summed across seeds, plus campaign totals and the
+   wall-clock speedup the worker pool bought over a sequential sweep. *)
+
+type row = {
+  store : string;
+  variant : Job.variant;
+  jobs : int;
+  ok : int;
+  failed : int;
+  timeout : int;
+  c_o : int;
+  c_a : int;
+  p_u : int;
+  p_efl : int;
+  p_efe : int;
+  p_el : int;
+  images_tested : int;
+  n_mismatch : int;
+  wall : float;             (* summed per-job wall-clock *)
+}
+
+type t = {
+  rows : row list;
+  total : row;              (* store = "TOTAL" *)
+  sequential_wall : float;  (* sum of every job's wall-clock *)
+}
+
+let empty_row store variant =
+  { store; variant; jobs = 0; ok = 0; failed = 0; timeout = 0; c_o = 0;
+    c_a = 0; p_u = 0; p_efl = 0; p_efe = 0; p_el = 0; images_tested = 0;
+    n_mismatch = 0; wall = 0. }
+
+let add_record row (r : Journal.record) =
+  let ok, failed, timeout, counts =
+    match r.status with
+    | Journal.Job_ok -> (1, 0, 0, r.result)
+    | Journal.Job_failed _ -> (0, 1, 0, None)
+    | Journal.Job_timeout -> (0, 0, 1, None)
+  in
+  let f k = match counts with None -> 0 | Some j -> Jsonx.int_field j k in
+  { row with
+    jobs = row.jobs + 1;
+    ok = row.ok + ok;
+    failed = row.failed + failed;
+    timeout = row.timeout + timeout;
+    c_o = row.c_o + f "c_o";
+    c_a = row.c_a + f "c_a";
+    p_u = row.p_u + f "p_u";
+    p_efl = row.p_efl + f "p_efl";
+    p_efe = row.p_efe + f "p_efe";
+    p_el = row.p_el + f "p_el";
+    images_tested = row.images_tested + f "images_tested";
+    n_mismatch = row.n_mismatch + f "n_mismatch";
+    wall = row.wall +. r.t_wall }
+
+let of_records (records : Journal.record list) =
+  (* preserve first-seen (registry/journal) order for the rows *)
+  let order = ref [] in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Journal.record) ->
+       let k = (r.spec.Job.store, r.spec.Job.variant) in
+       let row =
+         match Hashtbl.find_opt tbl k with
+         | Some row -> row
+         | None ->
+           order := k :: !order;
+           empty_row r.spec.Job.store r.spec.Job.variant
+       in
+       Hashtbl.replace tbl k (add_record row r))
+    records;
+  let rows = List.rev_map (fun k -> Hashtbl.find tbl k) !order in
+  let total =
+    List.fold_left
+      (fun acc (row : row) ->
+         { acc with
+           jobs = acc.jobs + row.jobs;
+           ok = acc.ok + row.ok;
+           failed = acc.failed + row.failed;
+           timeout = acc.timeout + row.timeout;
+           c_o = acc.c_o + row.c_o;
+           c_a = acc.c_a + row.c_a;
+           p_u = acc.p_u + row.p_u;
+           p_efl = acc.p_efl + row.p_efl;
+           p_efe = acc.p_efe + row.p_efe;
+           p_el = acc.p_el + row.p_el;
+           images_tested = acc.images_tested + row.images_tested;
+           n_mismatch = acc.n_mismatch + row.n_mismatch;
+           wall = acc.wall +. row.wall })
+      (empty_row "TOTAL" Job.Buggy) rows
+  in
+  { rows; total; sequential_wall = total.wall }
+
+let status_cell row =
+  if row.failed = 0 && row.timeout = 0 then "ok"
+  else Printf.sprintf "%dF/%dT" row.failed row.timeout
+
+let row_line row =
+  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8.1f"
+    row.store
+    (if row.store = "TOTAL" then "" else Job.variant_name row.variant)
+    row.jobs row.ok (status_cell row) row.c_o row.c_a row.p_u row.p_efl
+    row.p_efe row.p_el row.images_tested row.n_mismatch row.wall
+
+let header () =
+  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s"
+    "store" "var" "jobs" "ok" "status" "C-O" "C-A" "P-U" "P-EFL" "P-EFE"
+    "P-EL" "#img-tst" "#mismtch" "wall(s)"
+
+(* [elapsed] is the campaign's real wall-clock; the speedup line compares
+   it against running every job back to back on one core. *)
+let to_text ?elapsed ?j t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (header ());
+  Buffer.add_char b '\n';
+  Buffer.add_string b (String.make (String.length (header ())) '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row -> Buffer.add_string b (row_line row); Buffer.add_char b '\n')
+    t.rows;
+  Buffer.add_string b (String.make (String.length (header ())) '-');
+  Buffer.add_char b '\n';
+  Buffer.add_string b (row_line t.total);
+  Buffer.add_char b '\n';
+  (match elapsed with
+   | Some e when e >= 0.01 ->
+     Buffer.add_string b
+       (Printf.sprintf
+          "campaign wall-clock %.1fs%s; sequential estimate %.1fs; speedup %.2fx\n"
+          e
+          (match j with Some j -> Printf.sprintf " (-j %d)" j | None -> "")
+          t.sequential_wall
+          (t.sequential_wall /. e))
+   | _ -> ());
+  Buffer.contents b
+
+let row_json row =
+  Jsonx.Obj
+    [ ("store", Jsonx.Str row.store);
+      ("variant", Jsonx.Str (Job.variant_name row.variant));
+      ("jobs", Jsonx.Int row.jobs);
+      ("ok", Jsonx.Int row.ok);
+      ("failed", Jsonx.Int row.failed);
+      ("timeout", Jsonx.Int row.timeout);
+      ("c_o", Jsonx.Int row.c_o);
+      ("c_a", Jsonx.Int row.c_a);
+      ("p_u", Jsonx.Int row.p_u);
+      ("p_efl", Jsonx.Int row.p_efl);
+      ("p_efe", Jsonx.Int row.p_efe);
+      ("p_el", Jsonx.Int row.p_el);
+      ("images_tested", Jsonx.Int row.images_tested);
+      ("n_mismatch", Jsonx.Int row.n_mismatch);
+      ("wall", Jsonx.Float row.wall) ]
+
+let to_json ?elapsed ?j t =
+  let extra =
+    (match elapsed with
+     | Some e ->
+       [ ("elapsed", Jsonx.Float e);
+         ("speedup",
+          Jsonx.Float (if e > 0. then t.sequential_wall /. e else 0.)) ]
+     | None -> [])
+    @ (match j with Some j -> [ ("jobs_in_parallel", Jsonx.Int j) ] | None -> [])
+  in
+  Jsonx.Obj
+    ([ ("rows", Jsonx.List (List.map row_json t.rows));
+       ("total", row_json t.total);
+       ("sequential_wall", Jsonx.Float t.sequential_wall) ]
+     @ extra)

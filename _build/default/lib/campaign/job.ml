@@ -1,0 +1,60 @@
+(* A campaign job: one (store, variant, seed, engine-config) cell of the
+   evaluation matrix. Jobs carry a stable content-derived key so that a
+   journal written by one sweep can be resumed by a later one: the key
+   depends only on what the job *is*, never on when or where it ran. *)
+
+type variant = Buggy | Fixed
+
+type spec = {
+  store : string;
+  variant : variant;
+  seed : int;
+  n_ops : int;
+  max_images : int;
+}
+
+let variant_name = function Buggy -> "buggy" | Fixed -> "fixed"
+
+let variant_of_string = function
+  | "buggy" -> Some Buggy
+  | "fixed" -> Some Fixed
+  | _ -> None
+
+(* Bump the version tag if the fields that define a job ever change
+   meaning; old journal entries then no longer match and re-run. *)
+let key spec =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "witcher-job-v1|%s|%s|%d|%d|%d" spec.store
+          (variant_name spec.variant)
+          spec.seed spec.n_ops spec.max_images))
+
+let describe spec =
+  Printf.sprintf "%s/%s seed=%d n=%d" spec.store
+    (variant_name spec.variant)
+    spec.seed spec.n_ops
+
+let to_json spec =
+  Jsonx.Obj
+    [ ("store", Jsonx.Str spec.store);
+      ("variant", Jsonx.Str (variant_name spec.variant));
+      ("seed", Jsonx.Int spec.seed);
+      ("n_ops", Jsonx.Int spec.n_ops);
+      ("max_images", Jsonx.Int spec.max_images) ]
+
+let of_json j =
+  match
+    ( Option.bind (Jsonx.member "store" j) Jsonx.to_str_opt,
+      Option.bind (Jsonx.member "variant" j) Jsonx.to_str_opt )
+  with
+  | Some store, Some v ->
+    (match variant_of_string v with
+     | None -> Error ("bad variant " ^ v)
+     | Some variant ->
+       Ok
+         { store;
+           variant;
+           seed = Jsonx.int_field j "seed";
+           n_ops = Jsonx.int_field j "n_ops";
+           max_images = Jsonx.int_field j "max_images" })
+  | _ -> Error "job spec missing store/variant"

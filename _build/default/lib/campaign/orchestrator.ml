@@ -1,0 +1,129 @@
+(* Campaign orchestration: plan -> (resume filter) -> fork pool ->
+   journal -> aggregate. This is the `witcher campaign` entry point and
+   the piece the tests drive directly. *)
+
+module W = Witcher
+
+type cfg = {
+  j : int;                  (* worker processes *)
+  timeout : float;          (* per-job wall-clock budget, seconds *)
+  out_dir : string;
+  resume : bool;
+  progress : string -> unit;  (* one line per finished job *)
+}
+
+let default_cfg =
+  { j = 1; timeout = 300.; out_dir = "campaign-out"; resume = false;
+    progress = ignore }
+
+type summary = {
+  executed : int;           (* jobs actually run this invocation *)
+  skipped : int;            (* jobs satisfied by the journal (--resume) *)
+  records : Journal.record list;  (* full journal after the run *)
+  aggregate : Aggregate.t;
+  elapsed : float;
+  journal_path : string;
+  report_txt_path : string;
+  report_json_path : string;
+}
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+(* What one worker does: look the store up, build the engine config the
+   job spec describes, run the pipeline, return the per-job JSON. Runs
+   inside the forked child. *)
+let default_run_job (spec : Job.spec) =
+  match Stores.Registry.find spec.store with
+  | None -> failwith ("unknown store " ^ spec.store)
+  | Some e ->
+    let instance =
+      match spec.variant with
+      | Job.Buggy -> e.buggy ()
+      | Job.Fixed -> e.fixed ()
+    in
+    let cfg =
+      { W.Engine.default_cfg with
+        workload = { W.Workload.default with n_ops = spec.n_ops;
+                     seed = spec.seed };
+        crash = { W.Crash_gen.default_cfg with max_images = spec.max_images } }
+    in
+    Journal.result_json (W.Engine.run ~cfg instance)
+
+let progress_line (jr : Pool.job_result) =
+  let tag =
+    match jr.outcome with
+    | Pool.Ok _ -> "ok"
+    | Pool.Failed _ -> "FAILED"
+    | Pool.Timeout -> "TIMEOUT"
+  in
+  let detail =
+    match jr.outcome with Pool.Failed m -> " (" ^ m ^ ")" | _ -> ""
+  in
+  Printf.sprintf "[%-7s] %s %.1fs%s" tag (Job.describe jr.spec) jr.t_wall
+    detail
+
+(* Run [jobs] under [cfg]. [run_job] defaults to the registry-backed
+   engine runner; the tests substitute hostile ones. *)
+let run_matrix ?(run_job = default_run_job) (cfg : cfg) ~jobs =
+  mkdir_p cfg.out_dir;
+  let journal_path = Filename.concat cfg.out_dir "journal.jsonl" in
+  let prior = if cfg.resume then Journal.load journal_path else [] in
+  if not cfg.resume && Sys.file_exists journal_path then
+    Sys.remove journal_path;
+  let done_keys = Journal.completed_keys prior in
+  let to_run, skipped =
+    List.partition (fun s -> not (Hashtbl.mem done_keys (Job.key s))) jobs
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 journal_path
+  in
+  let t0 = Unix.gettimeofday () in
+  let executed = ref 0 in
+  Pool.run ~jobs:to_run ~j:cfg.j ~timeout:cfg.timeout ~run_job
+    ~on_done:(fun jr ->
+        incr executed;
+        let record =
+          Journal.record ~spec:jr.spec ~t_wall:jr.t_wall jr.outcome
+        in
+        Journal.append oc record;
+        cfg.progress (progress_line jr));
+  close_out oc;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let records = Journal.load journal_path in
+  (* Aggregate only this campaign's matrix (not unrelated journal rows),
+     in matrix order; if a key appears twice — a timed-out job re-run on
+     resume — the later record wins. *)
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Journal.record) -> Hashtbl.replace by_key r.key r)
+    records;
+  let matrix_records =
+    List.filter_map (fun s -> Hashtbl.find_opt by_key (Job.key s)) jobs
+  in
+  let aggregate = Aggregate.of_records matrix_records in
+  let report_txt_path = Filename.concat cfg.out_dir "report.txt" in
+  let report_json_path = Filename.concat cfg.out_dir "report.json" in
+  let txt = Aggregate.to_text ~elapsed ~j:cfg.j aggregate in
+  let oc = open_out report_txt_path in
+  output_string oc txt;
+  close_out oc;
+  let oc = open_out report_json_path in
+  output_string oc (Jsonx.to_string (Aggregate.to_json ~elapsed ~j:cfg.j aggregate));
+  output_char oc '\n';
+  close_out oc;
+  { executed = !executed;
+    skipped = List.length skipped;
+    records = matrix_records;
+    aggregate;
+    elapsed;
+    journal_path;
+    report_txt_path;
+    report_json_path }

@@ -1,0 +1,154 @@
+(* The fault-isolated executor: a [Unix.fork]-based worker pool. Every
+   job runs in its own child process, so an OCaml exception, a runaway
+   allocation, a livelock, or a genuine crash takes down one worker —
+   the parent records a [`Failed]/[`Timeout] outcome and keeps the rest
+   of the sweep running.
+
+   Protocol: the child runs [run_job], writes the resulting JSON payload
+   on a pipe, and [Unix._exit]s (0 on success, 3 after catching an
+   exception, in which case the payload is {"error": msg}). The parent
+   polls: it drains pipes opportunistically (so a child never blocks on
+   a full pipe buffer), reaps exits with [waitpid WNOHANG], and SIGKILLs
+   any child past its wall-clock deadline. *)
+
+type outcome =
+  | Ok of Jsonx.t           (* child exited 0; payload parsed *)
+  | Failed of string        (* exception, unclean exit, or external kill *)
+  | Timeout                 (* exceeded the deadline; killed by the pool *)
+
+type job_result = {
+  spec : Job.spec;
+  outcome : outcome;
+  t_wall : float;           (* spawn-to-reap wall-clock seconds *)
+}
+
+type slot = {
+  spec : Job.spec;
+  fd : Unix.file_descr;     (* read end of the result pipe *)
+  buf : Buffer.t;
+  start : float;
+}
+
+let drain_nonblock fd buf =
+  let bytes = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd bytes 0 4096 with
+    | 0 -> ()
+    | n -> Buffer.add_subbytes buf bytes 0 n; go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let drain_to_eof fd buf =
+  Unix.clear_nonblock fd;
+  let bytes = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd bytes 0 4096 with
+    | 0 -> ()
+    | n -> Buffer.add_subbytes buf bytes 0 n; go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let child_main w run_job spec =
+  (* In the child: never return, never run the parent's at_exit. *)
+  let payload, code =
+    match run_job spec with
+    | payload -> (payload, 0)
+    | exception e ->
+      (Jsonx.Obj [ ("error", Jsonx.Str (Printexc.to_string e)) ], 3)
+  in
+  (try
+     let s = Jsonx.to_string payload in
+     let b = Bytes.of_string s in
+     let rec write_all off =
+       if off < Bytes.length b then
+         let n = Unix.write w b off (Bytes.length b - off) in
+         write_all (off + n)
+     in
+     write_all 0;
+     Unix.close w
+   with _ -> ());
+  Unix._exit code
+
+let spawn run_job spec =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    child_main w run_job spec
+  | pid ->
+    Unix.close w;
+    Unix.set_nonblock r;
+    (pid, { spec; fd = r; buf = Buffer.create 512; start = Unix.gettimeofday () })
+
+let outcome_of ~killed ~payload status =
+  let parsed () = Jsonx.of_string (String.trim payload) in
+  match status with
+  | Unix.WEXITED 0 ->
+    (match parsed () with
+     | Result.Ok j -> Ok j
+     | Result.Error e -> Failed ("unparseable worker output: " ^ e))
+  | Unix.WEXITED n ->
+    let msg =
+      match parsed () with
+      | Result.Ok j ->
+        let m = Jsonx.str_field j "error" in
+        if m <> "" then m else Printf.sprintf "worker exit %d" n
+      | Result.Error _ -> Printf.sprintf "worker exit %d" n
+    in
+    Failed msg
+  | Unix.WSIGNALED _ when killed -> Timeout
+  | Unix.WSIGNALED s -> Failed (Printf.sprintf "worker killed by signal %d" s)
+  | Unix.WSTOPPED s -> Failed (Printf.sprintf "worker stopped by signal %d" s)
+
+(* Run [jobs] with at most [j] concurrent workers and a per-job
+   wall-clock [timeout] (seconds). [on_done] fires in the parent, in
+   completion order, exactly once per job. *)
+let run ~jobs ~j ~timeout ~run_job ~on_done =
+  let j = max 1 j in
+  let pending = Queue.create () in
+  List.iter (fun s -> Queue.add s pending) jobs;
+  let running : (int, slot) Hashtbl.t = Hashtbl.create 16 in
+  let killed : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  while not (Queue.is_empty pending) || Hashtbl.length running > 0 do
+    let progressed = ref false in
+    while Hashtbl.length running < j && not (Queue.is_empty pending) do
+      let spec = Queue.pop pending in
+      let pid, slot = spawn run_job spec in
+      Hashtbl.add running pid slot;
+      progressed := true
+    done;
+    let now = Unix.gettimeofday () in
+    let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) running [] in
+    List.iter
+      (fun pid ->
+         let slot = Hashtbl.find running pid in
+         drain_nonblock slot.fd slot.buf;
+         match Unix.waitpid [ Unix.WNOHANG ] pid with
+         | 0, _ ->
+           if now -. slot.start > timeout && not (Hashtbl.mem killed pid)
+           then begin
+             Hashtbl.add killed pid ();
+             try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+           end
+         | _, status ->
+           drain_to_eof slot.fd slot.buf;
+           Unix.close slot.fd;
+           Hashtbl.remove running pid;
+           let was_killed = Hashtbl.mem killed pid in
+           Hashtbl.remove killed pid;
+           let outcome =
+             outcome_of ~killed:was_killed
+               ~payload:(Buffer.contents slot.buf) status
+           in
+           on_done
+             { spec = slot.spec; outcome;
+               t_wall = Unix.gettimeofday () -. slot.start };
+           progressed := true)
+      pids;
+    if not !progressed then ignore (Unix.select [] [] [] 0.02)
+  done

@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Cluster Crash_gen Driver Equiv Hashtbl Infer List Nvm Op Perf Store_intf Sys Workload
+lib/core/engine.ml: Array Cluster Crash_gen Driver Equiv Hashtbl Infer List Nvm Op Perf Store_intf Unix Workload

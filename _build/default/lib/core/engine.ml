@@ -39,10 +39,13 @@ type result = {
   t_check : float;           (* crash-gen + equivalence, fused *)
 }
 
+(* Wall-clock, not CPU time: campaign workers run in parallel processes,
+   and per-phase timings must stay comparable to the sweep's elapsed
+   time. *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let v = f () in
-  (v, Sys.time () -. t0)
+  (v, Unix.gettimeofday () -. t0)
 
 let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   let wl = if S.supports_scan then cfg.workload else Workload.no_scan cfg.workload in

@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Campaign Filename In_channel List Option Printf Random Result Stores String Sys Unix Witcher

@@ -1,1 +1,1 @@
-test/test_witcher.ml: Alcotest Test_engine Test_infer_gen Test_nvm Test_pmdk Test_stores
+test/test_witcher.ml: Alcotest Test_campaign Test_engine Test_infer_gen Test_nvm Test_pmdk Test_stores

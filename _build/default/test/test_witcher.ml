@@ -8,4 +8,5 @@ let () =
       ("pmdk", Test_pmdk.suite);
       ("infer+crashgen", Test_infer_gen.suite);
       ("stores", Test_stores.suite);
-      ("engine", Test_engine.suite) ]
+      ("engine", Test_engine.suite);
+      ("campaign", Test_campaign.suite) ]
