@@ -17,6 +17,9 @@ type row = {
   p_el : int;
   images_tested : int;
   n_mismatch : int;
+  replay_ops : int;         (* ops re-executed by resumed runs *)
+  bytes_materialized : int; (* bytes copied to build crash images *)
+  t_equiv : float;          (* summed equivalence-checking stage time *)
   wall : float;             (* summed per-job wall-clock *)
 }
 
@@ -29,7 +32,8 @@ type t = {
 let empty_row store variant =
   { store; variant; jobs = 0; ok = 0; failed = 0; timeout = 0; c_o = 0;
     c_a = 0; p_u = 0; p_efl = 0; p_efe = 0; p_el = 0; images_tested = 0;
-    n_mismatch = 0; wall = 0. }
+    n_mismatch = 0; replay_ops = 0; bytes_materialized = 0; t_equiv = 0.;
+    wall = 0. }
 
 let add_record row (r : Journal.record) =
   let ok, failed, timeout, counts =
@@ -52,6 +56,13 @@ let add_record row (r : Journal.record) =
     p_el = row.p_el + f "p_el";
     images_tested = row.images_tested + f "images_tested";
     n_mismatch = row.n_mismatch + f "n_mismatch";
+    (* absent in journals written before the t_gen/t_equiv split; the
+       accessors default to 0 so old sweeps still aggregate *)
+    replay_ops = row.replay_ops + f "replay_ops";
+    bytes_materialized = row.bytes_materialized + f "bytes_materialized";
+    t_equiv =
+      (row.t_equiv
+       +. match counts with None -> 0. | Some j -> Jsonx.float_field j "t_equiv");
     wall = row.wall +. r.t_wall }
 
 let of_records (records : Journal.record list) =
@@ -87,6 +98,9 @@ let of_records (records : Journal.record list) =
            p_el = acc.p_el + row.p_el;
            images_tested = acc.images_tested + row.images_tested;
            n_mismatch = acc.n_mismatch + row.n_mismatch;
+           replay_ops = acc.replay_ops + row.replay_ops;
+           bytes_materialized = acc.bytes_materialized + row.bytes_materialized;
+           t_equiv = acc.t_equiv +. row.t_equiv;
            wall = acc.wall +. row.wall })
       (empty_row "TOTAL" Job.Buggy) rows
   in
@@ -97,16 +111,18 @@ let status_cell row =
   else Printf.sprintf "%dF/%dT" row.failed row.timeout
 
 let row_line row =
-  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8.1f"
+  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f %8.1f | %8.1f"
     row.store
     (if row.store = "TOTAL" then "" else Job.variant_name row.variant)
     row.jobs row.ok (status_cell row) row.c_o row.c_a row.p_u row.p_efl
-    row.p_efe row.p_el row.images_tested row.n_mismatch row.wall
+    row.p_efe row.p_el row.images_tested row.n_mismatch row.replay_ops
+    (float_of_int row.bytes_materialized /. 1024. /. 1024.)
+    row.t_equiv row.wall
 
 let header () =
-  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s"
+  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s %8s | %8s"
     "store" "var" "jobs" "ok" "status" "C-O" "C-A" "P-U" "P-EFL" "P-EFE"
-    "P-EL" "#img-tst" "#mismtch" "wall(s)"
+    "P-EL" "#img-tst" "#mismtch" "#replay" "mat-MB" "equiv(s)" "wall(s)"
 
 (* [elapsed] is the campaign's real wall-clock; the speedup line compares
    it against running every job back to back on one core. *)
@@ -151,6 +167,9 @@ let row_json row =
       ("p_el", Jsonx.Int row.p_el);
       ("images_tested", Jsonx.Int row.images_tested);
       ("n_mismatch", Jsonx.Int row.n_mismatch);
+      ("replay_ops", Jsonx.Int row.replay_ops);
+      ("bytes_materialized", Jsonx.Int row.bytes_materialized);
+      ("t_equiv", Jsonx.Float row.t_equiv);
       ("wall", Jsonx.Float row.wall) ]
 
 let to_json ?elapsed ?j t =

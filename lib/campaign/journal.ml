@@ -77,9 +77,16 @@ let result_json (r : W.Engine.result) =
            ("p_efl", perf_json r.perf.p_efl);
            ("p_efe", perf_json r.perf.p_efe);
            ("p_el", perf_json r.perf.p_el) ]);
+      ("replay_ops", Jsonx.Int r.replay_ops);
+      ("replay_early_stops", Jsonx.Int r.replay_early_stops);
+      ("bytes_materialized", Jsonx.Int r.bytes_materialized);
       ("t_record", Jsonx.Float r.t_record);
       ("t_infer", Jsonx.Float r.t_infer);
-      ("t_check", Jsonx.Float r.t_check) ]
+      ("t_gen", Jsonx.Float r.t_gen);
+      ("t_equiv", Jsonx.Float r.t_equiv);
+      (* pre-split readers summed generation + checking as t_check; keep
+         emitting it so old tooling can read new journals *)
+      ("t_check", Jsonx.Float (r.t_gen +. r.t_equiv)) ]
 
 (* ---------- records ---------- *)
 

@@ -61,6 +61,7 @@ type stats = {
   mutable candidates : int;      (* feasible violations found *)
   mutable generated : int;       (* distinct images *)
   mutable tested : int;          (* images passed to on_image (post-cap) *)
+  mutable bytes_materialized : int;  (* bytes copied to build the images *)
   per_op_images : (int, int) Hashtbl.t;  (* op index -> images generated *)
 }
 
@@ -81,7 +82,7 @@ let path_hash_step h sid = (h * 131) + Hashtbl.hash sid land 0xffffff
 let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image () =
   let sim = Crash_sim.create ~pool_size in
   let stats =
-    { candidates = 0; generated = 0; tested = 0;
+    { candidates = 0; generated = 0; tested = 0; bytes_materialized = 0;
       per_op_images = Hashtbl.create 64 }
   in
   let last_store_word : (int, int) Hashtbl.t = Hashtbl.create 4096 in
@@ -273,4 +274,5 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
          Crash_sim.on_event sim ev
        end)
     trace;
+  stats.bytes_materialized <- Crash_sim.bytes_materialized sim;
   stats

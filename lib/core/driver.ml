@@ -63,16 +63,31 @@ let describe_failure = function
   | e -> "exception:" ^ Printexc.to_string e
 
 (* Resume from a crash image: open + recover, then run ops with trace
-   indices [from_op + 1 .. n]. Returns exactly [n - from_op] outputs. *)
-let resume (module S : Store_intf.S) ~image ~ops ~from_op ~fuel =
+   indices [from_op + 1 .. n], streaming each output through [on_output]
+   as soon as it is available. [on_output i out] may return [`Stop] to
+   abort the replay — the incremental equivalence checker uses this to
+   cut a replay short the moment both oracles are ruled out, so an
+   inconsistent image costs O(first divergence) instead of O(suffix).
+
+   A visible failure (simulated segfault, fuel exhaustion, corrupt pool)
+   marks every remaining output [Crashed] without executing anything
+   further; those backfilled outputs still stream through [on_output].
+
+   Returns the number of operations the replay actually attempted to
+   execute (the crashing op counts: its work was done). *)
+let resume_stream (module S : Store_intf.S) ~image ~ops ~from_op ~fuel
+    ~(on_output : int -> Output.t -> [ `Continue | `Stop ]) =
   let n = Array.length ops in
   let suffix_len = n - from_op in
-  let results = Array.make (max suffix_len 1) (Output.Crashed "unreached") in
+  let executed = ref 0 in
   let ctx = Ctx.create ~mode:Quiet ~fuel image in
   let fail_from i msg =
-    for j = i to suffix_len - 1 do
-      results.(j) <- Output.Crashed msg
-    done
+    let out = Output.Crashed msg in
+    let rec go i =
+      if i < suffix_len then
+        match on_output i out with `Stop -> () | `Continue -> go (i + 1)
+    in
+    go i
   in
   let opened =
     try `Store (S.open_ ctx) with
@@ -91,10 +106,23 @@ let resume (module S : Store_intf.S) ~image ~ops ~from_op ~fuel =
    | `Err msg -> fail_from 0 msg
    | `Store store ->
      let rec go i =
-       if i < suffix_len then
+       if i < suffix_len then begin
+         incr executed;
          match S.exec store ops.(from_op + i) with
-         | out -> results.(i) <- out; go (i + 1)
+         | out ->
+           (match on_output i out with `Stop -> () | `Continue -> go (i + 1))
          | exception e -> fail_from i (describe_failure e)
+       end
      in
      go 0);
-  Array.sub results 0 (max suffix_len 0)
+  !executed
+
+(* Full replay into an array: [resume_stream] with no early abort.
+   Returns exactly [n - from_op] outputs. *)
+let resume (module S : Store_intf.S) ~image ~ops ~from_op ~fuel =
+  let suffix_len = max (Array.length ops - from_op) 0 in
+  let results = Array.make (max suffix_len 1) (Output.Crashed "unreached") in
+  ignore
+    (resume_stream (module S) ~image ~ops ~from_op ~fuel
+       ~on_output:(fun i out -> results.(i) <- out; `Continue));
+  Array.sub results 0 suffix_len

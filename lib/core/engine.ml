@@ -34,9 +34,13 @@ type result = {
   site_pairs : Cluster.report list;
   all_clusters : Cluster.report list;
   per_op_images : (int, int) Hashtbl.t;
+  replay_ops : int;          (* store ops re-executed across all resumes *)
+  replay_early_stops : int;  (* replays the incremental checker cut short *)
+  bytes_materialized : int;  (* bytes copied to build crash images *)
   t_record : float;
   t_infer : float;
-  t_check : float;           (* crash-gen + equivalence, fused *)
+  t_gen : float;             (* crash-image generation (trace walk + COW) *)
+  t_equiv : float;           (* output-equivalence checking (replays) *)
 }
 
 (* Wall-clock, not CPU time: campaign workers run in parallel processes,
@@ -62,8 +66,14 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   let op_desc_of k =
     if k = 0 then "create" else Op.desc recorded.ops.(k - 1)
   in
+  (* Generation and checking are pipeline-fused (one image alive at a
+     time), so the stage split is measured around each Equiv.check call:
+     t_equiv is the replay/compare time, t_gen the rest of the walk. *)
+  let t_equiv_acc = ref 0. in
   let on_image (image : Crash_gen.image) =
+    let t0 = Unix.gettimeofday () in
     let verdict = Equiv.check checker ~img:image.img ~crash_op:image.crash_op in
+    t_equiv_acc := !t_equiv_acc +. (Unix.gettimeofday () -. t0);
     (match verdict with
      | Equiv.Consistent -> ()
      | Equiv.Inconsistent _ ->
@@ -76,6 +86,9 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
         Crash_gen.generate ~cfg:cfg.crash ~trace:recorded.trace ~conds
           ~pool_size:recorded.pool_size ~on_image ())
   in
+  let t_equiv = !t_equiv_acc in
+  let t_gen = Float.max 0. (t_check -. t_equiv) in
+  let estats = Equiv.stats checker in
   let bug_reports = Cluster.root_causes clusters in
   let site_pairs = Cluster.site_pairs clusters in
   (* §4.5: an unpersisted store is only a *performance* bug if it passes
@@ -108,4 +121,7 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
     site_pairs;
     all_clusters = Cluster.reports clusters;
     per_op_images = stats.per_op_images;
-    t_record; t_infer; t_check }
+    replay_ops = estats.Equiv.n_replay_ops;
+    replay_early_stops = estats.Equiv.n_early_stops;
+    bytes_materialized = stats.bytes_materialized;
+    t_record; t_infer; t_gen; t_equiv }

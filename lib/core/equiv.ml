@@ -8,7 +8,16 @@
      fresh run with that operation removed.
 
    Divergence from both is a true crash-consistency bug (no false
-   positives). Rolled-back oracles are memoized per crashed operation. *)
+   positives). Rolled-back oracles are memoized per crashed operation.
+
+   The checker is incremental: the resumed execution streams each output
+   through it (Driver.resume_stream) and it tracks which of the two
+   oracles is still live. The moment both are ruled out the replay is
+   aborted — an inconsistent image costs O(first divergence) instead of
+   O(suffix), and since buggy images tend to diverge early this is the
+   dominant saving of the zero-copy validation path. Consistent images
+   still replay in full (one oracle stays live to the end), so the
+   verdict is exactly the one the full-replay comparison would reach. *)
 
 type verdict =
   | Consistent
@@ -17,8 +26,17 @@ type verdict =
       got : Output.t;
       expect_committed : Output.t;
       expect_rolled_back : Output.t;
-      crashed : bool;             (* resumption crashed visibly *)
+      crashed : bool;             (* divergence was a visible crash *)
     }
+
+(* Replay-work accounting for the per-stage timing split: how many store
+   operations the resumed executions actually ran, and how many replays
+   the incremental checker cut short. *)
+type stats = {
+  mutable n_checks : int;
+  mutable n_replay_ops : int;   (* ops executed across all resumes *)
+  mutable n_early_stops : int;  (* replays aborted before the suffix end *)
+}
 
 type t = {
   store : Store_intf.instance;
@@ -26,10 +44,14 @@ type t = {
   committed : Output.t array;   (* outputs of ops.(i), trace index i+1 *)
   rolled_back : (int, Output.t array) Hashtbl.t;  (* crash op -> oracle *)
   fuel : int;
+  stats : stats;
 }
 
 let create ?(fuel = 3_000_000) store ~ops ~committed =
-  { store; ops; committed; rolled_back = Hashtbl.create 64; fuel }
+  { store; ops; committed; rolled_back = Hashtbl.create 64; fuel;
+    stats = { n_checks = 0; n_replay_ops = 0; n_early_stops = 0 } }
+
+let stats t = t.stats
 
 (* Oracle for a crash at trace op index k: outputs of ops after k when
    op k is rolled back. k = 0 (creation) rolls back to the committed
@@ -53,39 +75,90 @@ let rolled_back_oracle t k =
     Hashtbl.replace t.rolled_back k oracle;
     oracle
 
-let check t ~img ~crash_op =
-  let n = Array.length t.ops in
-  let k = crash_op in
-  let got =
-    Driver.resume t.store ~image:img ~ops:t.ops ~from_op:k ~fuel:t.fuel
-  in
-  let suffix_len = n - k in
-  let committed_suffix i = t.committed.(k + i) in
-  let rb = rolled_back_oracle t k in
+(* Reference verdict over fully-materialized output arrays; the streaming
+   checker must agree with it. [committed] and [rolled_back] give oracle
+   outputs by suffix position. The reported [first_diff] is the earliest
+   index at which the resumed run diverges from *either* oracle: the two
+   oracles may die at different indices, and the earliest divergence is
+   where the inconsistency starts. *)
+let verdict_of_outputs ~crash_op ~(got : Output.t array)
+    ~(committed : int -> Output.t) ~(rolled_back : int -> Output.t) =
+  let suffix_len = Array.length got in
   let matches oracle_at =
-    let rec go i = i >= suffix_len || (Output.equal got.(i) (oracle_at i) && go (i + 1)) in
+    let rec go i =
+      i >= suffix_len || (Output.equal got.(i) (oracle_at i) && go (i + 1))
+    in
     go 0
   in
-  if matches committed_suffix || matches (fun i -> rb.(i)) then Consistent
+  if suffix_len = 0 || matches committed || matches rolled_back then
+    Consistent
   else begin
-    (* First index diverging from both oracles, for the report. *)
     let rec first i =
-      if i >= suffix_len then 0
-      else if not (Output.equal got.(i) (committed_suffix i))
-           && not (Output.equal got.(i) rb.(i)) then i
+      if i >= suffix_len then suffix_len - 1 (* unreachable: both diverged *)
+      else if not (Output.equal got.(i) (committed i))
+           || not (Output.equal got.(i) (rolled_back i)) then i
       else first (i + 1)
     in
-    (* The runs may diverge from the two oracles at different indices; for
-       reporting pick the first index differing from the committed oracle,
-       falling back to the first differing from rolled-back. *)
     let i = first 0 in
     let crashed =
       Array.exists (function Output.Crashed _ -> true | _ -> false) got
     in
     Inconsistent
-      { first_diff = k + i + 1;
-        got = (if suffix_len > 0 then got.(i) else Output.Ok);
-        expect_committed = (if suffix_len > 0 then committed_suffix i else Output.Ok);
-        expect_rolled_back = (if suffix_len > 0 then rb.(i) else Output.Ok);
+      { first_diff = crash_op + i + 1;
+        got = got.(i);
+        expect_committed = committed i;
+        expect_rolled_back = rolled_back i;
         crashed }
+  end
+
+let check t ~img ~crash_op =
+  let n = Array.length t.ops in
+  let k = crash_op in
+  let suffix_len = n - k in
+  t.stats.n_checks <- t.stats.n_checks + 1;
+  if suffix_len <= 0 then Consistent  (* crash after the last op *)
+  else begin
+    let committed_suffix i = t.committed.(k + i) in
+    let rb = rolled_back_oracle t k in
+    let c_live = ref true and r_live = ref true in
+    (* earliest index diverging from either oracle, and the output there *)
+    let first_div = ref (-1) in
+    let div_got = ref Output.Ok in
+    let crashed = ref false in
+    let stopped_at = ref (-1) in
+    let on_output i out =
+      (match out with Output.Crashed _ -> crashed := true | _ -> ());
+      let c_ok = !c_live && Output.equal out (committed_suffix i) in
+      let r_ok = !r_live && Output.equal out rb.(i) in
+      if !first_div < 0
+      && (not (Output.equal out (committed_suffix i))
+          || not (Output.equal out rb.(i))) then begin
+        first_div := i;
+        div_got := out
+      end;
+      c_live := c_ok;
+      r_live := r_ok;
+      if not c_ok && not r_ok then begin
+        stopped_at := i;
+        `Stop
+      end
+      else `Continue
+    in
+    let executed =
+      Driver.resume_stream t.store ~image:img ~ops:t.ops ~from_op:k
+        ~fuel:t.fuel ~on_output
+    in
+    t.stats.n_replay_ops <- t.stats.n_replay_ops + executed;
+    if !c_live || !r_live then Consistent
+    else begin
+      if !stopped_at < suffix_len - 1 then
+        t.stats.n_early_stops <- t.stats.n_early_stops + 1;
+      let i = !first_div in
+      Inconsistent
+        { first_diff = k + i + 1;
+          got = !div_got;
+          expect_committed = committed_suffix i;
+          expect_rolled_back = rb.(i);
+          crashed = !crashed }
+    end
   end

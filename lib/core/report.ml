@@ -50,13 +50,25 @@ let result_header () =
     "#img-gen" "#img-tst" "#mismtch" "#cluster" "time(s)"
 
 let result_row (r : Engine.result) =
-  let total_time = r.t_record +. r.t_infer +. r.t_check in
+  let total_time = r.t_record +. r.t_infer +. r.t_gen +. r.t_equiv in
   Printf.sprintf "%-18s | %4d %4d | %4d %5d %5d %4d | %9d %9d | %8d %8d %8d | %8d | %7.1f"
     r.name r.c_o r.c_a
     (Perf.n_bugs r.perf.p_u) (Perf.n_bugs r.perf.p_efl)
     (Perf.n_bugs r.perf.p_efe) (Perf.n_bugs r.perf.p_el)
     r.n_ord_conds r.n_atom_conds
     r.images_generated r.images_tested r.n_mismatch r.n_clusters total_time
+
+(* Per-stage timing and replay-work line for one store (`witcher run -v`,
+   `bench validate`): where the pipeline wall-clock goes, and how much
+   replay/copy work the zero-copy validation path actually did. *)
+let timing_line (r : Engine.result) =
+  Printf.sprintf
+    "%-18s record %.3fs | infer %.3fs | gen %.3fs | equiv %.3fs | \
+     replay-ops %d (early-stops %d) | materialized %.2f MB over %d images"
+    r.name r.t_record r.t_infer r.t_gen r.t_equiv r.replay_ops
+    r.replay_early_stops
+    (float_of_int r.bytes_materialized /. 1024. /. 1024.)
+    r.images_tested
 
 (* Table 4-style detailed bug list for one store. *)
 let bug_list (r : Engine.result) =

@@ -15,10 +15,17 @@
    guaranteed store.
 
    The module incrementally maintains [persisted], the pool image holding
-   exactly the guaranteed stores; [materialize] copies it and applies a
-   feasible set of extra (evicted-early) stores to obtain a concrete crash
-   image. Same-line stores become guaranteed in program order, so the
-   incremental application yields the correct final bytes. *)
+   exactly the guaranteed stores; [materialize] returns an O(1)
+   copy-on-write view of it with the chosen feasible set of extra
+   (evicted-early) stores applied to the overlay — O(extras) work instead
+   of an O(pool_size) copy. Same-line stores become guaranteed in program
+   order, so the incremental application yields the correct final bytes.
+
+   Lifetime: a materialized image aliases [persisted] as its read-only
+   base, so it is valid until the next [on_event] (which may mutate
+   [persisted] at a fence). The pipeline checks each image before feeding
+   the next trace event; callers that retain an image longer must detach
+   it with [Pmem.copy]. *)
 
 type line_state = {
   seq : int Vec.t;                 (* store tids on this line, program order *)
@@ -36,6 +43,8 @@ type t = {
   persisted : Pmem.t;
   mutable n_guaranteed : int;
   mutable n_dirty : int;                 (* stores with no guarantee yet *)
+  mutable images_materialized : int;
+  mutable bytes_materialized : int;      (* bytes written to build images *)
 }
 
 let create ~pool_size =
@@ -45,7 +54,9 @@ let create ~pool_size =
     touched = [];
     persisted = Pmem.create pool_size;
     n_guaranteed = 0;
-    n_dirty = 0 }
+    n_dirty = 0;
+    images_materialized = 0;
+    bytes_materialized = 0 }
 
 let line_state t line =
   match Hashtbl.find_opt t.lines line with
@@ -137,8 +148,26 @@ let feasible_extras t ~persist ~avoid =
     else Some (IS.elements extras)
   end
 
-(* Concrete crash image: guaranteed stores plus [extras] (program order). *)
+(* Concrete crash image: guaranteed stores plus [extras] (program order).
+   Returns a COW view over [persisted]; see the lifetime note above. *)
 let materialize t ~extras =
+  let img = Pmem.cow t.persisted in
+  List.iter
+    (fun tid ->
+       match Hashtbl.find_opt t.store_ev tid with
+       | Some s ->
+         Pmem.write_bytes img s.s_addr s.s_data;
+         t.bytes_materialized <- t.bytes_materialized + s.s_len
+       | None -> ())
+    (List.sort compare extras);
+  t.images_materialized <- t.images_materialized + 1;
+  img
+
+(* The pre-COW materialization path: a full flat copy of the pool. Kept as
+   the reference for bit-exactness tests and the legacy-cost baseline in
+   `bench/main.exe validate`; the pipeline itself always uses
+   [materialize]. *)
+let materialize_copy t ~extras =
   let img = Pmem.copy t.persisted in
   List.iter
     (fun tid ->
@@ -147,6 +176,9 @@ let materialize t ~extras =
        | None -> ())
     (List.sort compare extras);
   img
+
+let images_materialized t = t.images_materialized
+let bytes_materialized t = t.bytes_materialized
 
 (* Statistics used by the Yat test-space estimator: number of dirty (not
    yet guaranteed) stores per line, at the current point. *)

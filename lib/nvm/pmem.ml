@@ -1,7 +1,16 @@
 (* The simulated NVM pool: a bounded, byte-addressable image. In PMDK an
    NVM image is a regular file holding the persistent heap (§4.3 fn. 3);
-   here it is a [Bytes.t] that can be snapshotted, diffed and rebuilt from
-   a chosen set of persisted stores.
+   here it is either a flat [Bytes.t] or a copy-on-write view: a
+   read-only base image plus a cache-line-granular overlay.
+
+   Flat pools back live executions (record / oracle runs). COW pools back
+   crash images: [cow] is O(1) instead of an O(pool_size) copy, reads
+   fall through to the base, and the first write to a line copies just
+   that 64-byte line into the overlay — so a 4-16 MB pool snapshot costs
+   only the dirty lines the resumed execution actually touches. The base
+   MUST stay unmodified while the overlay is alive; [Crash_sim] guarantees
+   this by checking each image before feeding the next trace event, and
+   [copy] detaches an image into an independent flat pool.
 
    Out-of-bounds accesses raise [Fault], the simulated segmentation fault:
    resuming from a corrupted crash image may follow garbage pointers, and
@@ -9,17 +18,31 @@
 
 exception Fault of { addr : int; len : int }
 
-type t = {
-  buf : Bytes.t;
-  size : int;
-}
-
 let line_size = 64
 let line_of_addr addr = addr lsr 6
 
+type cow = {
+  base : Bytes.t;                      (* read-only while overlay lives *)
+  overlay : (int, Bytes.t) Hashtbl.t;  (* line -> private line copy *)
+  (* one-line lookup cache: replayed ops have strong line locality *)
+  mutable cl : int;                    (* cached line, -1 = invalid *)
+  mutable cb : Bytes.t;                (* buffer holding that line *)
+  mutable co : int;                    (* addr - co indexes into cb *)
+  mutable cow_bytes : int;             (* bytes copied into the overlay *)
+}
+
+type repr =
+  | Flat of Bytes.t
+  | Cow of cow
+
+type t = {
+  repr : repr;
+  size : int;
+}
+
 let create size =
   if size <= 0 then invalid_arg "Pmem.create";
-  { buf = Bytes.make size '\000'; size }
+  { repr = Flat (Bytes.make size '\000'); size }
 
 let size t = t.size
 
@@ -27,34 +50,165 @@ let check t addr len =
   if addr < 0 || len < 0 || addr + len > t.size then
     raise (Fault { addr; len })
 
+(* ---------- COW internals ---------- *)
+
+(* Buffer + offset for reading [addr .. addr+len) when it fits one line. *)
+let cow_ro c addr =
+  let line = addr lsr 6 in
+  if c.cl = line then (c.cb, c.co)
+  else
+    match Hashtbl.find_opt c.overlay line with
+    | Some b ->
+      let co = line lsl 6 in
+      c.cl <- line; c.cb <- b; c.co <- co;
+      (b, co)
+    | None ->
+      c.cl <- line; c.cb <- c.base; c.co <- 0;
+      (c.base, 0)
+
+(* Private (writable) copy of [line], created on first write. Re-points
+   the read cache at the new copy so a stale base-resident entry for this
+   line can never be read back. *)
+let cow_rw c size line =
+  match Hashtbl.find_opt c.overlay line with
+  | Some b -> b
+  | None ->
+    let start = line lsl 6 in
+    let len = min line_size (size - start) in
+    let b = Bytes.create len in
+    Bytes.blit c.base start b 0 len;
+    Hashtbl.add c.overlay line b;
+    c.cow_bytes <- c.cow_bytes + len;
+    c.cl <- line; c.cb <- b; c.co <- start;
+    b
+
+let cow_write c size addr s off len =
+  let rec go addr off remaining =
+    if remaining > 0 then begin
+      let line = addr lsr 6 in
+      let line_end = (line + 1) * line_size in
+      let chunk = min remaining (line_end - addr) in
+      let b = cow_rw c size line in
+      Bytes.blit_string s off b (addr - (line lsl 6)) chunk;
+      go (addr + chunk) (off + chunk) (remaining - chunk)
+    end
+  in
+  go addr off len
+
+let cow_read c addr len =
+  let out = Bytes.create len in
+  let rec go addr off remaining =
+    if remaining > 0 then begin
+      let line_end = ((addr lsr 6) + 1) * line_size in
+      let chunk = min remaining (line_end - addr) in
+      let buf, base_off = cow_ro c addr in
+      Bytes.blit buf (addr - base_off) out off chunk;
+      go (addr + chunk) (off + chunk) (remaining - chunk)
+    end
+  in
+  go addr 0 len;
+  Bytes.unsafe_to_string out
+
+(* ---------- accesses ---------- *)
+
 let read_u64 t addr =
   check t addr 8;
-  Int64.to_int (Bytes.get_int64_le t.buf addr)
+  match t.repr with
+  | Flat buf -> Int64.to_int (Bytes.get_int64_le buf addr)
+  | Cow c ->
+    if addr land (line_size - 1) <= line_size - 8 then
+      let buf, off = cow_ro c addr in
+      Int64.to_int (Bytes.get_int64_le buf (addr - off))
+    else
+      Int64.to_int
+        (Bytes.get_int64_le (Bytes.of_string (cow_read c addr 8)) 0)
 
 let write_u64 t addr v =
   check t addr 8;
-  Bytes.set_int64_le t.buf addr (Int64.of_int v)
+  match t.repr with
+  | Flat buf -> Bytes.set_int64_le buf addr (Int64.of_int v)
+  | Cow c ->
+    if addr land (line_size - 1) <= line_size - 8 then begin
+      let b = cow_rw c t.size (addr lsr 6) in
+      Bytes.set_int64_le b (addr land (line_size - 1)) (Int64.of_int v)
+    end
+    else begin
+      let tmp = Bytes.create 8 in
+      Bytes.set_int64_le tmp 0 (Int64.of_int v);
+      cow_write c t.size addr (Bytes.unsafe_to_string tmp) 0 8
+    end
 
 let read_u8 t addr =
   check t addr 1;
-  Char.code (Bytes.get t.buf addr)
+  match t.repr with
+  | Flat buf -> Char.code (Bytes.get buf addr)
+  | Cow c ->
+    let buf, off = cow_ro c addr in
+    Char.code (Bytes.get buf (addr - off))
 
 let write_u8 t addr v =
   check t addr 1;
-  Bytes.set t.buf addr (Char.chr (v land 0xff))
+  match t.repr with
+  | Flat buf -> Bytes.set buf addr (Char.chr (v land 0xff))
+  | Cow c ->
+    let b = cow_rw c t.size (addr lsr 6) in
+    Bytes.set b (addr land (line_size - 1)) (Char.chr (v land 0xff))
 
 let read_bytes t addr len =
   check t addr len;
-  Bytes.sub_string t.buf addr len
+  match t.repr with
+  | Flat buf -> Bytes.sub_string buf addr len
+  | Cow c -> cow_read c addr len
 
 let write_bytes t addr s =
   let len = String.length s in
   check t addr len;
-  Bytes.blit_string s 0 t.buf addr len
+  match t.repr with
+  | Flat buf -> Bytes.blit_string s 0 buf addr len
+  | Cow c -> cow_write c t.size addr s 0 len
 
-let snapshot t = Bytes.to_string t.buf
+(* ---------- whole-pool operations ---------- *)
+
+let flatten t =
+  match t.repr with
+  | Flat buf -> Bytes.copy buf
+  | Cow c ->
+    let out = Bytes.copy c.base in
+    Hashtbl.iter
+      (fun line b -> Bytes.blit b 0 out (line lsl 6) (Bytes.length b))
+      c.overlay;
+    out
+
+let snapshot t =
+  match t.repr with
+  | Flat buf -> Bytes.to_string buf
+  | Cow _ -> Bytes.unsafe_to_string (flatten t)
 
 let of_snapshot s =
-  { buf = Bytes.of_string s; size = String.length s }
+  { repr = Flat (Bytes.of_string s); size = String.length s }
 
-let copy t = { buf = Bytes.copy t.buf; size = t.size }
+(* An independent flat pool with the same contents; detaches a COW image
+   from its base. *)
+let copy t = { repr = Flat (flatten t); size = t.size }
+
+(* O(1) copy-on-write view of [t]. [t]'s bytes MUST NOT change while the
+   view is in use (writes to the view never touch [t]). *)
+let rec cow t =
+  match t.repr with
+  | Flat buf ->
+    { repr =
+        Cow { base = buf; overlay = Hashtbl.create 32;
+              cl = -1; cb = Bytes.empty; co = 0; cow_bytes = 0 };
+      size = t.size }
+  | Cow _ -> cow (copy t)
+
+let is_cow t = match t.repr with Cow _ -> true | Flat _ -> false
+
+(* Lines copied into the overlay so far (0 for a flat pool). *)
+let overlay_lines t =
+  match t.repr with Flat _ -> 0 | Cow c -> Hashtbl.length c.overlay
+
+(* Bytes physically copied to build this view: O(dirty lines), compared
+   to [size t] for the flat-copy path. *)
+let cow_bytes t =
+  match t.repr with Flat _ -> 0 | Cow c -> c.cow_bytes

@@ -133,6 +133,49 @@ let test_journal_skips_garbage () =
   Alcotest.(check int) "only the valid line loads" 1
     (List.length (C.Journal.load path))
 
+(* Journals written before the t_gen/t_equiv split carry a fused
+   [t_check] and none of the replay/materialization counters. They must
+   still parse, aggregate (new counters default to 0), and count as
+   completed for --resume. *)
+let test_presplit_journal_compat () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let s = spec "level-hash" in
+  let line =
+    C.Jsonx.to_string
+      (C.Jsonx.Obj
+         [ ("key", C.Jsonx.Str (C.Job.key s));
+           ("job", C.Job.to_json s);
+           ("status", C.Jsonx.Str "ok");
+           ("t_wall", C.Jsonx.Float 2.5);
+           ("result",
+            C.Jsonx.Obj
+              [ ("store", C.Jsonx.Str "level-hash");
+                ("c_o", C.Jsonx.Int 2);
+                ("c_a", C.Jsonx.Int 1);
+                ("images_tested", C.Jsonx.Int 99);
+                ("n_mismatch", C.Jsonx.Int 7);
+                ("t_check", C.Jsonx.Float 1.25) ]) ])
+  in
+  let oc = open_out path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  let records = C.Journal.load path in
+  Alcotest.(check int) "pre-split line parses" 1 (List.length records);
+  let agg = C.Aggregate.of_records records in
+  Alcotest.(check int) "bug counts aggregate" 2 agg.total.c_o;
+  Alcotest.(check int) "images aggregate" 99 agg.total.images_tested;
+  Alcotest.(check int) "mismatches aggregate" 7 agg.total.n_mismatch;
+  Alcotest.(check int) "replay_ops defaults to 0" 0 agg.total.replay_ops;
+  Alcotest.(check int) "bytes_materialized defaults to 0" 0
+    agg.total.bytes_materialized;
+  Alcotest.(check bool) "t_equiv defaults to 0" true (agg.total.t_equiv = 0.);
+  Alcotest.(check bool) "report renders" true
+    (String.length (C.Aggregate.to_text agg) > 0);
+  let done_ = C.Journal.completed_keys records in
+  Alcotest.(check bool) "old key counts as completed for --resume" true
+    (Hashtbl.mem done_ (C.Job.key s))
+
 (* ---------- fault isolation (fake stores, custom run_job) ---------- *)
 
 let status_of records store =
@@ -312,6 +355,8 @@ let suite =
     Alcotest.test_case "journal record roundtrip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal tolerates torn lines" `Quick
       test_journal_skips_garbage;
+    Alcotest.test_case "pre-split journal still aggregates" `Quick
+      test_presplit_journal_compat;
     Alcotest.test_case "failing job isolated from siblings" `Quick
       test_failing_job_isolated;
     Alcotest.test_case "livelocked job killed at deadline" `Quick

@@ -196,6 +196,71 @@ let prop_buggy_found =
        let r = W.Engine.run ~cfg:c (Stores.Level_hash.buggy ()) in
        r.c_o + r.c_a > 0)
 
+(* first_diff reporting: when the resumed run diverges from the two
+   oracles at different indices, the earliest divergence from either is
+   the one reported (the pre-fix code looked for an index diverging from
+   both at once and fell through to the start of the suffix). *)
+let test_first_diff_earliest () =
+  let open W.Output in
+  let committed = [| Ok; Found "a"; Ok; Found "c" |] in
+  let rolled_back = [| Ok; Ok; Ok; Found "d" |] in
+  (* diverges from rolled-back at suffix index 1, from committed at 3 *)
+  let got = [| Ok; Found "a"; Ok; Found "x" |] in
+  match
+    W.Equiv.verdict_of_outputs ~crash_op:5 ~got
+      ~committed:(fun i -> committed.(i))
+      ~rolled_back:(fun i -> rolled_back.(i))
+  with
+  | W.Equiv.Consistent -> Alcotest.fail "expected inconsistent"
+  | W.Equiv.Inconsistent d ->
+    Alcotest.(check int) "earliest divergence (crash_op 5 + idx 1 + 1)" 7
+      d.first_diff;
+    Alcotest.(check bool) "got at that index" true
+      (W.Output.equal d.got (Found "a"))
+
+(* The streaming checker must reach exactly the verdict the full-replay
+   reference does, image by image, on a real buggy store. *)
+let test_streaming_matches_reference () =
+  let e = Option.get (R.find "level-hash") in
+  let module S = (val e.buggy ()) in
+  let wl = W.Workload.no_scan { W.Workload.default with n_ops = 60 } in
+  let r = W.Driver.record (module S) (W.Workload.generate wl) in
+  let conds = W.Infer.infer r.trace in
+  let fuel = W.Engine.default_cfg.fuel in
+  let checker =
+    W.Equiv.create ~fuel (module S) ~ops:r.ops ~committed:r.outputs
+  in
+  let n = ref 0 and n_bad = ref 0 in
+  ignore
+    (W.Crash_gen.generate
+       ~cfg:{ W.Crash_gen.default_cfg with max_images = 200 }
+       ~trace:r.trace ~conds ~pool_size:r.pool_size
+       ~on_image:(fun (img : W.Crash_gen.image) ->
+           let k = img.crash_op in
+           (* reference: full replay from a detached flat copy *)
+           let got =
+             W.Driver.resume (module S) ~image:(Nvm.Pmem.copy img.img)
+               ~ops:r.ops ~from_op:k ~fuel
+           in
+           let rb = W.Equiv.rolled_back_oracle checker k in
+           let reference =
+             W.Equiv.verdict_of_outputs ~crash_op:k ~got
+               ~committed:(fun i -> r.outputs.(k + i))
+               ~rolled_back:(fun i -> rb.(i))
+           in
+           let streamed = W.Equiv.check checker ~img:img.img ~crash_op:k in
+           incr n;
+           (match reference, streamed with
+            | W.Equiv.Consistent, W.Equiv.Consistent -> ()
+            | W.Equiv.Inconsistent a, W.Equiv.Inconsistent b ->
+              incr n_bad;
+              Alcotest.(check int) "first_diff agrees" a.first_diff b.first_diff
+            | _ -> Alcotest.fail "streaming and reference verdicts disagree");
+           `Continue)
+       ());
+  Alcotest.(check bool) "covered consistent and inconsistent images" true
+    (!n > 50 && !n_bad > 0 && !n_bad < !n)
+
 (* Recovery idempotence: opening a crash image twice must not change the
    observable state a third open sees. *)
 let test_recovery_idempotent () =
@@ -327,6 +392,10 @@ let suite =
       Alcotest.test_case "recovery idempotence" `Quick test_recovery_idempotent;
       Alcotest.test_case "clustering collapses" `Slow test_clustering_collapses;
       Alcotest.test_case "report formatting" `Quick test_report_smoke;
+      Alcotest.test_case "first_diff is earliest divergence" `Quick
+        test_first_diff_earliest;
+      Alcotest.test_case "streaming check = full-replay reference" `Slow
+        test_streaming_matches_reference;
       Alcotest.test_case "final image consistent" `Quick test_final_image_consistent;
       Alcotest.test_case "random explore (fixed store clean)" `Quick
         test_random_explore_smoke;

@@ -53,6 +53,89 @@ let test_pmem () =
   let p' = Pmem.of_snapshot s in
   check "snapshot" 0xdeadbeef (Pmem.read_u64 p' 8)
 
+let test_pmem_cow () =
+  (* 300 bytes: the last line is partial (300 - 4*64 = 44 bytes) *)
+  let base = Pmem.create 300 in
+  Pmem.write_u64 base 8 0x1111;
+  Pmem.write_bytes base 60 "cross-line";    (* spans lines 0 and 1 *)
+  Pmem.write_u8 base 299 7;                 (* last byte of partial line *)
+  let before = Pmem.snapshot base in
+  let v = Pmem.cow base in
+  checkb "is_cow" true (Pmem.is_cow v);
+  check "no lines copied yet" 0 (Pmem.overlay_lines v);
+  (* fall-through reads see the base *)
+  check "ro u64" 0x1111 (Pmem.read_u64 v 8);
+  Alcotest.(check string) "ro cross-line" "cross-line" (Pmem.read_bytes v 60 10);
+  check "ro last byte" 7 (Pmem.read_u8 v 299);
+  (* writes land in the overlay, never in the base *)
+  Pmem.write_u64 v 8 0x2222;
+  Pmem.write_bytes v 60 "CROSS-LINE";
+  Pmem.write_u8 v 299 9;
+  check "overlay u64" 0x2222 (Pmem.read_u64 v 8);
+  Alcotest.(check string) "overlay cross-line" "CROSS-LINE"
+    (Pmem.read_bytes v 60 10);
+  check "overlay last byte" 9 (Pmem.read_u8 v 299);
+  Alcotest.(check string) "base untouched" before (Pmem.snapshot base);
+  check "base still original" 0x1111 (Pmem.read_u64 base 8);
+  (* dirty-line accounting: lines 0, 1 and the partial line 4 *)
+  check "overlay lines" 3 (Pmem.overlay_lines v);
+  check "cow bytes" (64 + 64 + 44) (Pmem.cow_bytes v);
+  (* snapshot merges overlay over base; copy detaches *)
+  let d = Pmem.copy v in
+  checkb "copy is flat" false (Pmem.is_cow d);
+  Alcotest.(check string) "copy = view" (Pmem.snapshot v) (Pmem.snapshot d);
+  Pmem.write_u64 d 16 0xffff;
+  check "view unaffected by detached copy" 0 (Pmem.read_u64 v 16);
+  (* bounds checking is preserved on the view *)
+  (match Pmem.read_u64 v 296 with
+   | _ -> Alcotest.fail "expected fault"
+   | exception Pmem.Fault _ -> ())
+
+(* qcheck: a COW view and a flat copy are indistinguishable under any
+   sequence of in-bounds writes and reads, and the base never changes. *)
+let prop_cow_equals_flat =
+  let size = 300 in
+  QCheck2.Test.make ~name:"cow view behaves like a flat pool" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (triple (int_range 0 4) (int_range 0 (size - 1)) (int_range 0 255)))
+    (fun ops ->
+       let base = Pmem.create size in
+       (* non-trivial base contents *)
+       for i = 0 to (size / 8) - 1 do
+         Pmem.write_u64 base (i * 8) (i * 0x01010101)
+       done;
+       let before = Pmem.snapshot base in
+       let flat = Pmem.of_snapshot before in
+       let v = Pmem.cow base in
+       let ok = ref true in
+       List.iter
+         (fun (kind, addr, value) ->
+            match kind with
+            | 0 ->
+              let addr = min addr (size - 8) in
+              Pmem.write_u64 flat addr value;
+              Pmem.write_u64 v addr value
+            | 1 ->
+              Pmem.write_u8 flat addr value;
+              Pmem.write_u8 v addr value
+            | 2 ->
+              (* may straddle a line boundary or hit the partial line *)
+              let s = String.make (min 20 (size - addr)) (Char.chr value) in
+              Pmem.write_bytes flat addr s;
+              Pmem.write_bytes v addr s
+            | 3 ->
+              let addr = min addr (size - 8) in
+              ok := !ok && Pmem.read_u64 flat addr = Pmem.read_u64 v addr
+            | _ ->
+              let len = min 20 (size - addr) in
+              ok := !ok
+                    && Pmem.read_bytes flat addr len = Pmem.read_bytes v addr len)
+         ops;
+       !ok
+       && Pmem.snapshot flat = Pmem.snapshot v
+       && Pmem.snapshot base = before)
+
 (* --- Ctx: tracing, guards, line splitting --- *)
 
 let test_ctx_trace () =
@@ -186,15 +269,51 @@ let prop_prefix_closed =
                    !stores)
               extras))
 
+(* qcheck: COW materialization is bit-identical to the pre-refactor
+   full-copy path for every feasible extras set the generator reaches. *)
+let prop_materialize_bit_identical =
+  QCheck2.Test.make ~name:"cow materialize = full-copy materialize" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) (pair (int_range 0 31) (int_range 0 2)))
+    (fun ops ->
+       let sim = Crash_sim.create ~pool_size:4096 in
+       let tid = ref 0 in
+       List.iter
+         (fun (word, kind) ->
+            match kind with
+            | 0 | 1 ->
+              Crash_sim.on_store sim
+                (store_ev !tid (word * 8)
+                   (Printf.sprintf "%08d" (!tid * 7 mod 99999999)));
+              incr tid
+            | _ ->
+              Crash_sim.on_flush sim (Pmem.line_of_addr (word * 8));
+              Crash_sim.on_fence sim)
+         ops;
+       let extras_of tid =
+         match Crash_sim.feasible_extras sim ~persist:[ tid ] ~avoid:[] with
+         | Some e -> e
+         | None -> []
+       in
+       List.for_all
+         (fun extras ->
+            let cow_img = Crash_sim.materialize sim ~extras in
+            let flat_img = Crash_sim.materialize_copy sim ~extras in
+            Pmem.is_cow cow_img
+            && Pmem.snapshot cow_img = Pmem.snapshot flat_img)
+         [ []; extras_of 0; extras_of (max 0 (!tid - 1)) ])
+
 let suite =
   [ Alcotest.test_case "vec" `Quick test_vec;
     Alcotest.test_case "taint" `Quick test_taint;
     Alcotest.test_case "tv arithmetic taints" `Quick test_tv_arith;
     Alcotest.test_case "pmem bounds + snapshot" `Quick test_pmem;
+    Alcotest.test_case "pmem cow view" `Quick test_pmem_cow;
     Alcotest.test_case "ctx records dd/cd" `Quick test_ctx_trace;
     Alcotest.test_case "ctx splits at line boundary" `Quick test_ctx_line_split;
     Alcotest.test_case "ctx fuel" `Quick test_ctx_fuel;
     Alcotest.test_case "sim flush+fence guarantee" `Quick test_sim_guarantee;
     Alcotest.test_case "sim per-line closure" `Quick test_sim_closure;
     Alcotest.test_case "sim materialize latest-wins" `Quick test_sim_materialize;
-    QCheck_alcotest.to_alcotest prop_prefix_closed ]
+    QCheck_alcotest.to_alcotest prop_prefix_closed;
+    QCheck_alcotest.to_alcotest prop_cow_equals_flat;
+    QCheck_alcotest.to_alcotest prop_materialize_bit_identical ]
