@@ -4,11 +4,16 @@
 
      witcher list [--json]
      witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v] [--json]
+                 [--trace-out t.json]
      witcher campaign -j 4 [--stores a,b] [--seeds 1,2,3] [--fixed-too]
-                      [--out dir] [--resume]
+                      [--out dir] [--resume] [--heartbeat SECS]
+                      [--trace-out t.json]
      witcher trace -s cceh -n 20 [--head 80]
      witcher perf -s memcached -n 200
-*)
+
+   `--trace-out` writes a Chrome trace_event file (open in Perfetto or
+   chrome://tracing): per-stage spans for a single run, one track per
+   worker pid plus an orchestrator overview track for a campaign. *)
 
 module W = Witcher
 module R = Stores.Registry
@@ -45,6 +50,16 @@ let max_images_arg =
 let json_arg =
   let open Cmdliner in
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let trace_out_arg =
+  let open Cmdliner in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON file (load it in Perfetto \
+                 or chrome://tracing).")
+
+(* Everything the campaign says to a human goes through this one sink. *)
+let progress_sink = C.Orchestrator.stderr_progress
 
 let lookup name =
   match R.find name with
@@ -85,12 +100,35 @@ let list_cmd json =
   end;
   0
 
-let run_cmd store fixed ops seed max_images verbose json =
+let run_cmd store fixed ops seed max_images verbose json trace_out =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
   let r = W.Engine.run ~cfg:(engine_cfg ~ops ~seed ~max_images) instance in
-  if json then
-    print_endline (C.Jsonx.to_string (C.Journal.result_json r))
+  (* the run's observability state: [Engine.run] reset both at entry, so
+     they cover exactly this pipeline execution *)
+  let metrics = Obs.Metrics.snapshot Obs.Metrics.default in
+  let spans = Obs.Span.events Obs.Span.default_buf in
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     Obs.Trace_export.write ~path
+       [ { Obs.Trace_export.pid = Unix.getpid ();
+           label = Printf.sprintf "witcher run %s" store; events = spans } ]);
+  if json then begin
+    (* a strict superset of the journal's result_json: same fields, plus
+       the metrics snapshot and span buffer under "obs" *)
+    let obs =
+      C.Jsonx.Obj
+        [ ("metrics", Obs.Metrics.to_json metrics);
+          ("spans", Obs.Span.events_to_json spans) ]
+    in
+    let j =
+      match C.Journal.result_json r with
+      | C.Jsonx.Obj kvs -> C.Jsonx.Obj (kvs @ [ ("obs", obs) ])
+      | j -> j
+    in
+    print_endline (C.Jsonx.to_string j)
+  end
   else begin
     print_endline (W.Report.result_header ());
     print_endline (W.Report.result_row r);
@@ -105,6 +143,10 @@ let run_cmd store fixed ops seed max_images verbose json =
         r.bug_reports
     end;
     if verbose then begin
+      (* per-stage timing and work table: where the pipeline wall-clock
+         went and what the replay/COW machinery actually did *)
+      Printf.printf "\n%s\n" (W.Report.timing_line r);
+      print_string (Obs.Metrics.render metrics);
       Printf.printf "\nAll %d clusters:\n" (List.length r.all_clusters);
       List.iter
         (fun rep -> Printf.printf "  %s\n" (Fmt.str "%a" W.Cluster.pp_report rep))
@@ -117,25 +159,30 @@ let run_cmd store fixed ops seed max_images verbose json =
   if r.bug_reports = [] then 0 else 1
 
 let campaign_cmd jobs_n stores seeds fixed_too ops max_images timeout out
-    resume json =
+    resume json heartbeat trace_out =
   let plan_cfg =
     { C.Planner.stores; seeds; fixed_too; n_ops = ops; max_images }
   in
   match C.Planner.plan plan_cfg with
   | Error msg ->
-    Printf.eprintf "campaign: %s\n" msg;
+    progress_sink (Printf.sprintf "campaign: %s" msg);
     2
   | Ok jobs ->
     let cfg =
       { C.Orchestrator.j = jobs_n; timeout; out_dir = out; resume;
-        progress = (fun line -> Printf.eprintf "%s\n%!" line) }
+        progress = progress_sink; heartbeat; trace_out }
     in
-    Printf.eprintf "campaign: %d job(s), -j %d, journal %s\n%!"
-      (List.length jobs) jobs_n
-      (Filename.concat out "journal.jsonl");
+    progress_sink
+      (Printf.sprintf "campaign: %d job(s), -j %d, journal %s"
+         (List.length jobs) jobs_n
+         (Filename.concat out "journal.jsonl"));
     let s = C.Orchestrator.run_matrix cfg ~jobs in
-    Printf.eprintf "campaign: executed %d, skipped %d (journaled), %.1fs\n%!"
-      s.executed s.skipped s.elapsed;
+    progress_sink
+      (Printf.sprintf "campaign: executed %d, skipped %d (journaled), %.1fs"
+         s.executed s.skipped s.elapsed);
+    (match s.trace_path with
+     | Some p -> progress_sink (Printf.sprintf "campaign: trace written to %s" p)
+     | None -> ());
     if json then
       print_endline
         (C.Jsonx.to_string
@@ -215,7 +262,7 @@ let run_man =
 let list_t = Term.(const list_cmd $ json_arg)
 let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
-        $ max_images_arg $ verbose_arg $ json_arg)
+        $ max_images_arg $ verbose_arg $ json_arg $ trace_out_arg)
 
 let campaign_t =
   let j =
@@ -254,8 +301,16 @@ let campaign_t =
                    (timeouts are retried); without this flag the journal is \
                    restarted from scratch.")
   in
+  let heartbeat =
+    Arg.(value & opt (some float) None
+         & info [ "heartbeat" ] ~docv:"SECS"
+             ~doc:"Render a live status line every $(docv) seconds: jobs \
+                   done/total, each worker's current job and elapsed time, \
+                   and an ETA from the sequential-estimate metric.")
+  in
   Term.(const campaign_cmd $ j $ stores $ seeds $ fixed_too $ ops_arg
-        $ max_images_arg $ timeout $ out $ resume $ json_arg)
+        $ max_images_arg $ timeout $ out $ resume $ json_arg $ heartbeat
+        $ trace_out_arg)
 
 let trace_t =
   let head =

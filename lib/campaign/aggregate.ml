@@ -27,6 +27,10 @@ type t = {
   rows : row list;
   total : row;              (* store = "TOTAL" *)
   sequential_wall : float;  (* sum of every job's wall-clock *)
+  metrics : Obs.Metrics.snapshot;
+  (* exact merge of every worker's metrics snapshot: [Obs.Metrics.merge]
+     is associative and commutative, so this equals what one process
+     running the whole matrix would have observed *)
 }
 
 let empty_row store variant =
@@ -104,7 +108,10 @@ let of_records (records : Journal.record list) =
            wall = acc.wall +. row.wall })
       (empty_row "TOTAL" Job.Buggy) rows
   in
-  { rows; total; sequential_wall = total.wall }
+  let metrics =
+    Obs.Metrics.merge_all (List.filter_map Journal.obs_metrics records)
+  in
+  { rows; total; sequential_wall = total.wall; metrics }
 
 let status_cell row =
   if row.failed = 0 && row.timeout = 0 then "ok"
@@ -149,6 +156,10 @@ let to_text ?elapsed ?j t =
           t.sequential_wall
           (t.sequential_wall /. e))
    | _ -> ());
+  if t.metrics <> Obs.Metrics.empty then begin
+    Buffer.add_string b "\ncampaign metrics (merged across workers):\n";
+    Buffer.add_string b (Obs.Metrics.render t.metrics)
+  end;
   Buffer.contents b
 
 let row_json row =
@@ -185,5 +196,6 @@ let to_json ?elapsed ?j t =
   Jsonx.Obj
     ([ ("rows", Jsonx.List (List.map row_json t.rows));
        ("total", row_json t.total);
-       ("sequential_wall", Jsonx.Float t.sequential_wall) ]
+       ("sequential_wall", Jsonx.Float t.sequential_wall);
+       ("metrics", Obs.Metrics.to_json t.metrics) ]
      @ extra)

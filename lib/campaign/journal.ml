@@ -16,6 +16,7 @@ type record = {
   status : status;
   t_wall : float;
   result : Jsonx.t option;  (* the [result_json] payload when Job_ok *)
+  obs : Jsonx.t option;     (* worker pid + metrics snapshot + span buffer *)
 }
 
 let status_name = function
@@ -90,14 +91,14 @@ let result_json (r : W.Engine.result) =
 
 (* ---------- records ---------- *)
 
-let record ~spec ~t_wall outcome =
+let record ?obs ~spec ~t_wall outcome =
   let status, result =
     match (outcome : Pool.outcome) with
     | Pool.Ok payload -> (Job_ok, Some payload)
     | Pool.Failed msg -> (Job_failed msg, None)
     | Pool.Timeout -> (Job_timeout, None)
   in
-  { spec; key = Job.key spec; status; t_wall; result }
+  { spec; key = Job.key spec; status; t_wall; result; obs }
 
 let record_to_json r =
   let base =
@@ -112,7 +113,8 @@ let record_to_json r =
     | _, Some payload -> [ ("result", payload) ]
     | _, None -> []
   in
-  Jsonx.Obj (base @ extra)
+  let obs = match r.obs with Some o -> [ ("obs", o) ] | None -> [] in
+  Jsonx.Obj (base @ extra @ obs)
 
 let record_of_json j =
   match Jsonx.member "job" j with
@@ -132,7 +134,8 @@ let record_of_json j =
            key = Jsonx.str_field ~default:(Job.key spec) j "key";
            status;
            t_wall = Jsonx.float_field j "t_wall";
-           result = Jsonx.member "result" j })
+           result = Jsonx.member "result" j;
+           obs = Jsonx.member "obs" j })
 
 let append oc r =
   output_string oc (Jsonx.to_string (record_to_json r));
@@ -166,6 +169,26 @@ let load path =
    [Job_failed] are terminal; a [Job_timeout] is re-run on resume so a
    transiently overloaded machine doesn't freeze a Timeout verdict into
    the campaign forever. *)
+(* ---------- worker observability accessors ---------- *)
+
+let obs_pid r =
+  match r.obs with
+  | Some o ->
+    (match Jsonx.member "pid" o with
+     | Some v -> Jsonx.to_int_opt v
+     | None -> None)
+  | None -> None
+
+let obs_metrics r =
+  Option.bind r.obs (fun o ->
+      Option.bind (Jsonx.member "metrics" o) (fun m ->
+          Result.to_option (Obs.Metrics.of_json m)))
+
+let obs_spans r =
+  match Option.bind r.obs (Jsonx.member "spans") with
+  | Some s -> Obs.Span.events_of_json s
+  | None -> []
+
 let completed_keys records =
   let t = Hashtbl.create 64 in
   List.iter

@@ -1,243 +1,7 @@
-(* Minimal JSON for the campaign journal and the CLI's --json output.
-   The container has no yojson, so this carries its own encoder and a
-   small recursive-descent parser — enough for full round-trips of our
-   own output plus any well-formed JSON a user hand-edits into a
-   journal. *)
+(* The campaign's JSON module now lives in [Obs.Jsonx] (the observability
+   layer needs it below this library in the dependency stack: metrics
+   snapshots and Chrome-trace export serialize through it). Re-exported
+   here so [Campaign.Jsonx] keeps working for every existing caller, with
+   [t] equal to [Obs.Jsonx.t]. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-(* ---------- encoding ---------- *)
-
-let escape_string b s =
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | '\r' -> Buffer.add_string b "\\r"
-       | '\t' -> Buffer.add_string b "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
-
-let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.6g" f
-
-let rec encode b = function
-  | Null -> Buffer.add_string b "null"
-  | Bool v -> Buffer.add_string b (if v then "true" else "false")
-  | Int i -> Buffer.add_string b (string_of_int i)
-  | Float f -> Buffer.add_string b (float_repr f)
-  | Str s -> escape_string b s
-  | List l ->
-    Buffer.add_char b '[';
-    List.iteri
-      (fun i v -> if i > 0 then Buffer.add_char b ','; encode b v)
-      l;
-    Buffer.add_char b ']'
-  | Obj kvs ->
-    Buffer.add_char b '{';
-    List.iteri
-      (fun i (k, v) ->
-         if i > 0 then Buffer.add_char b ',';
-         escape_string b k;
-         Buffer.add_char b ':';
-         encode b v)
-      kvs;
-    Buffer.add_char b '}'
-
-let to_string v =
-  let b = Buffer.create 256 in
-  encode b v;
-  Buffer.contents b
-
-(* ---------- decoding ---------- *)
-
-exception Parse_error of string
-
-type parser_state = { s : string; mutable pos : int }
-
-let peek p = if p.pos < String.length p.s then Some p.s.[p.pos] else None
-
-let fail p msg =
-  raise (Parse_error (Printf.sprintf "%s at offset %d" msg p.pos))
-
-let skip_ws p =
-  while
-    p.pos < String.length p.s
-    && (match p.s.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-  do
-    p.pos <- p.pos + 1
-  done
-
-let expect p c =
-  match peek p with
-  | Some c' when c = c' -> p.pos <- p.pos + 1
-  | _ -> fail p (Printf.sprintf "expected %C" c)
-
-let literal p word v =
-  let n = String.length word in
-  if p.pos + n <= String.length p.s && String.sub p.s p.pos n = word then begin
-    p.pos <- p.pos + n;
-    v
-  end
-  else fail p ("expected " ^ word)
-
-let utf8_of_code b u =
-  (* encode a unicode scalar value (from \uXXXX) as UTF-8 *)
-  if u < 0x80 then Buffer.add_char b (Char.chr u)
-  else if u < 0x800 then begin
-    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
-    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
-  end
-  else begin
-    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
-    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
-    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
-  end
-
-let parse_string p =
-  expect p '"';
-  let b = Buffer.create 16 in
-  let rec go () =
-    match peek p with
-    | None -> fail p "unterminated string"
-    | Some '"' -> p.pos <- p.pos + 1
-    | Some '\\' ->
-      p.pos <- p.pos + 1;
-      (match peek p with
-       | Some '"' -> Buffer.add_char b '"'; p.pos <- p.pos + 1
-       | Some '\\' -> Buffer.add_char b '\\'; p.pos <- p.pos + 1
-       | Some '/' -> Buffer.add_char b '/'; p.pos <- p.pos + 1
-       | Some 'n' -> Buffer.add_char b '\n'; p.pos <- p.pos + 1
-       | Some 't' -> Buffer.add_char b '\t'; p.pos <- p.pos + 1
-       | Some 'r' -> Buffer.add_char b '\r'; p.pos <- p.pos + 1
-       | Some 'b' -> Buffer.add_char b '\b'; p.pos <- p.pos + 1
-       | Some 'f' -> Buffer.add_char b '\012'; p.pos <- p.pos + 1
-       | Some 'u' ->
-         p.pos <- p.pos + 1;
-         if p.pos + 4 > String.length p.s then fail p "bad \\u escape";
-         let hex = String.sub p.s p.pos 4 in
-         (match int_of_string_opt ("0x" ^ hex) with
-          | Some u -> utf8_of_code b u; p.pos <- p.pos + 4
-          | None -> fail p "bad \\u escape")
-       | _ -> fail p "bad escape");
-      go ()
-    | Some c -> Buffer.add_char b c; p.pos <- p.pos + 1; go ()
-  in
-  go ();
-  Buffer.contents b
-
-let parse_number p =
-  let start = p.pos in
-  let is_num_char c =
-    match c with
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  while
-    p.pos < String.length p.s && is_num_char p.s.[p.pos]
-  do
-    p.pos <- p.pos + 1
-  done;
-  let tok = String.sub p.s start (p.pos - start) in
-  match int_of_string_opt tok with
-  | Some i -> Int i
-  | None ->
-    (match float_of_string_opt tok with
-     | Some f -> Float f
-     | None -> fail p ("bad number " ^ tok))
-
-let rec parse_value p =
-  skip_ws p;
-  match peek p with
-  | None -> fail p "unexpected end of input"
-  | Some '"' -> Str (parse_string p)
-  | Some '{' ->
-    p.pos <- p.pos + 1;
-    skip_ws p;
-    if peek p = Some '}' then begin p.pos <- p.pos + 1; Obj [] end
-    else begin
-      let rec fields acc =
-        skip_ws p;
-        let k = parse_string p in
-        skip_ws p;
-        expect p ':';
-        let v = parse_value p in
-        skip_ws p;
-        match peek p with
-        | Some ',' -> p.pos <- p.pos + 1; fields ((k, v) :: acc)
-        | Some '}' -> p.pos <- p.pos + 1; List.rev ((k, v) :: acc)
-        | _ -> fail p "expected , or }"
-      in
-      Obj (fields [])
-    end
-  | Some '[' ->
-    p.pos <- p.pos + 1;
-    skip_ws p;
-    if peek p = Some ']' then begin p.pos <- p.pos + 1; List [] end
-    else begin
-      let rec elems acc =
-        let v = parse_value p in
-        skip_ws p;
-        match peek p with
-        | Some ',' -> p.pos <- p.pos + 1; elems (v :: acc)
-        | Some ']' -> p.pos <- p.pos + 1; List.rev (v :: acc)
-        | _ -> fail p "expected , or ]"
-      in
-      List (elems [])
-    end
-  | Some 't' -> literal p "true" (Bool true)
-  | Some 'f' -> literal p "false" (Bool false)
-  | Some 'n' -> literal p "null" Null
-  | Some ('-' | '0' .. '9') -> parse_number p
-  | Some c -> fail p (Printf.sprintf "unexpected %C" c)
-
-let of_string s =
-  let p = { s; pos = 0 } in
-  match parse_value p with
-  | v ->
-    skip_ws p;
-    if p.pos <> String.length s then Error "trailing garbage"
-    else Ok v
-  | exception Parse_error msg -> Error msg
-
-(* ---------- accessors ---------- *)
-
-let member k = function
-  | Obj kvs -> List.assoc_opt k kvs
-  | _ -> None
-
-let to_int_opt = function
-  | Int i -> Some i
-  | Float f when Float.is_integer f -> Some (int_of_float f)
-  | _ -> None
-
-let to_float_opt = function
-  | Float f -> Some f
-  | Int i -> Some (float_of_int i)
-  | _ -> None
-
-let to_str_opt = function Str s -> Some s | _ -> None
-
-let int_field ?(default = 0) j k =
-  Option.value ~default (Option.bind (member k j) to_int_opt)
-
-let float_field ?(default = 0.) j k =
-  Option.value ~default (Option.bind (member k j) to_float_opt)
-
-let str_field ?(default = "") j k =
-  Option.value ~default (Option.bind (member k j) to_str_opt)
+include Obs.Jsonx

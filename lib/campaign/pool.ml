@@ -4,12 +4,21 @@
    the parent records a [`Failed]/[`Timeout] outcome and keeps the rest
    of the sweep running.
 
-   Protocol: the child runs [run_job], writes the resulting JSON payload
-   on a pipe, and [Unix._exit]s (0 on success, 3 after catching an
-   exception, in which case the payload is {"error": msg}). The parent
-   polls: it drains pipes opportunistically (so a child never blocks on
-   a full pipe buffer), reaps exits with [waitpid WNOHANG], and SIGKILLs
-   any child past its wall-clock deadline. *)
+   Protocol: the child runs [run_job] and writes a v2 envelope on a pipe:
+
+     {"v": 2, "payload": <job JSON>, "obs": {"pid", "metrics", "spans"}}
+
+   then [Unix._exit]s (0 on success, 3 after catching an exception, in
+   which case the payload is {"error": msg}). "obs" carries the worker's
+   [Obs.Metrics] snapshot and [Obs.Span] buffer so the orchestrator can
+   merge per-worker metrics exactly and export one trace track per
+   worker pid. A payload with no envelope (a raw object, as older tools
+   or hostile test run_jobs produce) is accepted as-is with no obs.
+
+   The parent polls: it drains pipes opportunistically (so a child never
+   blocks on a full pipe buffer), reaps exits with [waitpid WNOHANG],
+   SIGKILLs any child past its wall-clock deadline, and fires [on_tick]
+   once per poll round so the orchestrator can render a heartbeat. *)
 
 type outcome =
   | Ok of Jsonx.t           (* child exited 0; payload parsed *)
@@ -19,6 +28,7 @@ type outcome =
 type job_result = {
   spec : Job.spec;
   outcome : outcome;
+  obs : Jsonx.t option;     (* worker observability envelope, if any *)
   t_wall : float;           (* spawn-to-reap wall-clock seconds *)
 }
 
@@ -51,6 +61,17 @@ let drain_to_eof fd buf =
   in
   go ()
 
+(* The worker's observability payload, captured after [run_job]: whatever
+   the run left in the process-local registry and span buffer. Never let
+   a serialization problem turn a finished job into a failure. *)
+let obs_json () =
+  try
+    Jsonx.Obj
+      [ ("pid", Jsonx.Int (Unix.getpid ()));
+        ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot Obs.Metrics.default));
+        ("spans", Obs.Span.events_to_json (Obs.Span.events Obs.Span.default_buf)) ]
+  with _ -> Jsonx.Obj [ ("pid", Jsonx.Int (Unix.getpid ())) ]
+
 let child_main w run_job spec =
   (* In the child: never return, never run the parent's at_exit. *)
   let payload, code =
@@ -59,8 +80,11 @@ let child_main w run_job spec =
     | exception e ->
       (Jsonx.Obj [ ("error", Jsonx.Str (Printexc.to_string e)) ], 3)
   in
+  let envelope =
+    Jsonx.Obj [ ("v", Jsonx.Int 2); ("payload", payload); ("obs", obs_json ()) ]
+  in
   (try
-     let s = Jsonx.to_string payload in
+     let s = Jsonx.to_string envelope in
      let b = Bytes.of_string s in
      let rec write_all off =
        if off < Bytes.length b then
@@ -85,30 +109,44 @@ let spawn run_job spec =
     Unix.set_nonblock r;
     (pid, { spec; fd = r; buf = Buffer.create 512; start = Unix.gettimeofday () })
 
+(* Split a wire value into (payload, obs). Only a v2 envelope is
+   unwrapped; anything else is a bare payload. *)
+let unwrap j =
+  match (Jsonx.member "v" j, Jsonx.member "payload" j) with
+  | Some (Jsonx.Int 2), Some payload -> (payload, Jsonx.member "obs" j)
+  | _ -> (j, None)
+
 let outcome_of ~killed ~payload status =
-  let parsed () = Jsonx.of_string (String.trim payload) in
+  let parsed () =
+    match Jsonx.of_string (String.trim payload) with
+    | Result.Ok j -> Result.Ok (unwrap j)
+    | Result.Error e -> Result.Error e
+  in
   match status with
   | Unix.WEXITED 0 ->
     (match parsed () with
-     | Result.Ok j -> Ok j
-     | Result.Error e -> Failed ("unparseable worker output: " ^ e))
+     | Result.Ok (j, obs) -> (Ok j, obs)
+     | Result.Error e -> (Failed ("unparseable worker output: " ^ e), None))
   | Unix.WEXITED n ->
-    let msg =
+    let msg, obs =
       match parsed () with
-      | Result.Ok j ->
+      | Result.Ok (j, obs) ->
         let m = Jsonx.str_field j "error" in
-        if m <> "" then m else Printf.sprintf "worker exit %d" n
-      | Result.Error _ -> Printf.sprintf "worker exit %d" n
+        ((if m <> "" then m else Printf.sprintf "worker exit %d" n), obs)
+      | Result.Error _ -> (Printf.sprintf "worker exit %d" n, None)
     in
-    Failed msg
-  | Unix.WSIGNALED _ when killed -> Timeout
-  | Unix.WSIGNALED s -> Failed (Printf.sprintf "worker killed by signal %d" s)
-  | Unix.WSTOPPED s -> Failed (Printf.sprintf "worker stopped by signal %d" s)
+    (Failed msg, obs)
+  | Unix.WSIGNALED _ when killed -> (Timeout, None)
+  | Unix.WSIGNALED s -> (Failed (Printf.sprintf "worker killed by signal %d" s), None)
+  | Unix.WSTOPPED s -> (Failed (Printf.sprintf "worker stopped by signal %d" s), None)
 
 (* Run [jobs] with at most [j] concurrent workers and a per-job
    wall-clock [timeout] (seconds). [on_done] fires in the parent, in
-   completion order, exactly once per job. *)
-let run ~jobs ~j ~timeout ~run_job ~on_done =
+   completion order, exactly once per job. [on_tick] fires once per poll
+   round with the in-flight jobs and their elapsed seconds — the
+   orchestrator's heartbeat hook. *)
+let run ?(on_tick = fun ~now:_ ~running:_ -> ()) ~jobs ~j ~timeout ~run_job
+    ~on_done () =
   let j = max 1 j in
   let pending = Queue.create () in
   List.iter (fun s -> Queue.add s pending) jobs;
@@ -123,6 +161,11 @@ let run ~jobs ~j ~timeout ~run_job ~on_done =
       progressed := true
     done;
     let now = Unix.gettimeofday () in
+    on_tick ~now
+      ~running:
+        (Hashtbl.fold
+           (fun _ (s : slot) acc -> (s.spec, now -. s.start) :: acc)
+           running []);
     let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) running [] in
     List.iter
       (fun pid ->
@@ -141,12 +184,12 @@ let run ~jobs ~j ~timeout ~run_job ~on_done =
            Hashtbl.remove running pid;
            let was_killed = Hashtbl.mem killed pid in
            Hashtbl.remove killed pid;
-           let outcome =
+           let outcome, obs =
              outcome_of ~killed:was_killed
                ~payload:(Buffer.contents slot.buf) status
            in
            on_done
-             { spec = slot.spec; outcome;
+             { spec = slot.spec; outcome; obs;
                t_wall = Unix.gettimeofday () -. slot.start };
            progressed := true)
       pids;

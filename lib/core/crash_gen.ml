@@ -151,6 +151,7 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
     end
   in
   let process_fence fence_tid fence_sid op =
+    let generated_before = stats.generated in
     (* Baseline image: the crash evicted nothing — only already-guaranteed
        stores survive. Always feasible; one per fence, capped per fence
        site. It catches bugs whose inconsistent state is exactly "the
@@ -241,6 +242,8 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
         all_pairs rest
     in
     all_pairs guardian_stores;
+    Obs.Metrics.observe "crash_gen.images_per_fence"
+      (stats.generated - generated_before);
     epoch := [];
     Hashtbl.reset epoch_seen
   in

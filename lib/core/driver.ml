@@ -38,12 +38,14 @@ let record (module S : Store_intf.S) ops =
          out)
       ops
   in
+  Obs.Metrics.incr ~n:(Array.length ops) "driver.record_ops";
   { ops; outputs; trace = Ctx.trace ctx; pool_size = S.pool_size;
     final_image = Pmem.snapshot pmem }
 
 (* Uninstrumented execution of an arbitrary op list; used for rolled-back
    oracles. Must be deterministic w.r.t. [record] modulo the removed op. *)
 let run_quiet (module S : Store_intf.S) ops =
+  Obs.Metrics.incr "driver.quiet_runs";
   let pmem = Pmem.create S.pool_size in
   let ctx = Ctx.create ~mode:Quiet pmem in
   let store = S.create ctx in
@@ -80,6 +82,7 @@ let resume_stream (module S : Store_intf.S) ~image ~ops ~from_op ~fuel
   let n = Array.length ops in
   let suffix_len = n - from_op in
   let executed = ref 0 in
+  Obs.Metrics.incr "driver.resumes";
   let ctx = Ctx.create ~mode:Quiet ~fuel image in
   let fail_from i msg =
     let out = Output.Crashed msg in

@@ -51,11 +51,25 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
+(* One engine run owns the process-local observability state: the default
+   metrics registry and span buffer are reset at entry, so the snapshot a
+   campaign worker ships (or `witcher run -v` prints) covers exactly this
+   run. Stage spans carry measured durations; [stage.gen]/[stage.equiv]
+   are pipeline-fused in reality, so they are laid out as two adjacent
+   logical spans tiling the fused loop's interval (DESIGN §6). *)
 let run ?(cfg = default_cfg) (module S : Store_intf.S) =
+  Obs.Metrics.reset Obs.Metrics.default;
+  Obs.Span.clear Obs.Span.default_buf;
+  Obs.Span.with_span ~attrs:[ ("store", S.name) ] "engine.run" @@ fun () ->
   let wl = if S.supports_scan then cfg.workload else Workload.no_scan cfg.workload in
   let ops = Workload.generate wl in
+  let rec_t0 = Unix.gettimeofday () in
   let recorded, t_record = timed (fun () -> Driver.record (module S) ops) in
+  Obs.Span.add ~name:"stage.record" ~ts:rec_t0 ~dur:t_record
+    ~attrs:[ ("n_ops", string_of_int (Array.length recorded.ops)) ] ();
+  let inf_t0 = Unix.gettimeofday () in
   let conds, t_infer = timed (fun () -> Infer.infer recorded.trace) in
+  Obs.Span.add ~name:"stage.infer" ~ts:inf_t0 ~dur:t_infer ();
   let perf = Perf.detect recorded.trace in
   let checker =
     Equiv.create ~fuel:cfg.fuel (module S : Store_intf.S)
@@ -81,6 +95,7 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
        Cluster.add clusters ~image ~op_desc:(op_desc_of image.crash_op) ~verdict);
     `Continue
   in
+  let check_t0 = Unix.gettimeofday () in
   let stats, t_check =
     timed (fun () ->
         Crash_gen.generate ~cfg:cfg.crash ~trace:recorded.trace ~conds
@@ -88,6 +103,14 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   in
   let t_equiv = !t_equiv_acc in
   let t_gen = Float.max 0. (t_check -. t_equiv) in
+  (* The two fused stages tile [check_t0, check_t0 + t_check): their span
+     durations sum exactly to the loop's wall-clock, so stage spans and
+     the journal's t_* fields agree (asserted by the obs-smoke alias). *)
+  Obs.Span.add ~name:"stage.gen" ~ts:check_t0 ~dur:t_gen
+    ~attrs:[ ("images_generated", string_of_int stats.generated);
+             ("images_tested", string_of_int stats.tested) ] ();
+  Obs.Span.add ~name:"stage.equiv" ~ts:(check_t0 +. t_gen)
+    ~dur:(Float.max 0. (t_check -. t_gen)) ();
   let estats = Equiv.stats checker in
   let bug_reports = Cluster.root_causes clusters in
   let site_pairs = Cluster.site_pairs clusters in

@@ -64,6 +64,7 @@ let rolled_back_oracle t k =
     let oracle =
       if k = 0 then Array.sub t.committed 0 n
       else begin
+        Obs.Metrics.incr "equiv.oracle_runs";
         let ops' =
           List.filteri (fun i _ -> i <> k - 1) (Array.to_list t.ops)
         in
@@ -149,10 +150,18 @@ let check t ~img ~crash_op =
         ~fuel:t.fuel ~on_output
     in
     t.stats.n_replay_ops <- t.stats.n_replay_ops + executed;
+    Obs.Metrics.incr "equiv.checks";
+    Obs.Metrics.incr ~n:executed "equiv.replay_ops";
+    Obs.Metrics.observe "equiv.replay_len" executed;
     if !c_live || !r_live then Consistent
     else begin
-      if !stopped_at < suffix_len - 1 then
+      if !stopped_at < suffix_len - 1 then begin
         t.stats.n_early_stops <- t.stats.n_early_stops + 1;
+        Obs.Metrics.incr "equiv.early_stops";
+        (* how deep into the suffix the replay got before both oracles
+           died: the early-abort saving is suffix_len - depth per image *)
+        Obs.Metrics.observe "equiv.early_stop_depth" !stopped_at
+      end;
       let i = !first_div in
       Inconsistent
         { first_diff = k + i + 1;

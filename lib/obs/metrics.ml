@@ -1,0 +1,287 @@
+(* Process-local metrics registry: counters, gauges, and log2-bucketed
+   histograms. The live registry is mutable and cheap to update from hot
+   paths (one Hashtbl lookup + an array increment per observation); a
+   [snapshot] is an immutable, name-sorted value that serializes through
+   [Jsonx] and merges exactly.
+
+   [merge] is associative and commutative (counters and histogram buckets
+   add, gauges take the max, histogram min/max take min/max), so folding
+   per-worker snapshots in any order — or any grouping — yields the same
+   totals a single process observing everything would have produced.
+   Campaign aggregation relies on this: the container pinned to one CPU
+   means we assert merge exactness in tests instead of measuring parallel
+   speedup.
+
+   Histogram buckets: bucket 0 holds values <= 0; bucket k (k >= 1) holds
+   values v with 2^(k-1) <= v < 2^k. [n_buckets - 1] is a clamp bucket
+   for anything at or above 2^(n_buckets - 2). *)
+
+type hist_state = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist_state) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 16 }
+
+(* The shared per-process registry. [Engine.run] resets it at entry so a
+   run's snapshot covers exactly that run; campaign workers fork, run one
+   engine, and ship the snapshot back over the result pipe. *)
+let default = create ()
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists
+
+(* ---------- buckets ---------- *)
+
+let n_buckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* number of significant bits of v, clamped to the last bucket *)
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (bits v 0) (n_buckets - 1)
+  end
+
+(* Inclusive lower / exclusive upper value bound of bucket [k]. Bucket 0
+   is "<= 0" (lo = min_int); the last bucket is open-ended (hi = max_int). *)
+let bucket_lo k = if k <= 0 then min_int else 1 lsl (k - 1)
+let bucket_hi k =
+  if k <= 0 then 1
+  else if k >= n_buckets - 1 then max_int
+  else 1 lsl k
+
+(* ---------- recording ---------- *)
+
+let incr ?(m = default) ?(n = 1) name =
+  match Hashtbl.find_opt m.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add m.counters name (ref n)
+
+let set_gauge ?(m = default) name v =
+  match Hashtbl.find_opt m.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add m.gauges name (ref v)
+
+let observe ?(m = default) name v =
+  let h =
+    match Hashtbl.find_opt m.hists name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
+          h_buckets = Array.make n_buckets 0 }
+      in
+      Hashtbl.add m.hists name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+(* ---------- snapshots ---------- *)
+
+type hist = {
+  count : int;
+  sum : int;
+  min : int;                    (* max_int when count = 0 *)
+  max : int;                    (* min_int when count = 0 *)
+  buckets : (int * int) list;   (* bucket index -> count, sorted, no zeros *)
+}
+
+type snapshot = {
+  counters : (string * int) list;   (* sorted by name *)
+  gauges : (string * float) list;   (* sorted by name *)
+  hists : (string * hist) list;     (* sorted by name *)
+}
+
+let empty = { counters = []; gauges = []; hists = [] }
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot (t : t) =
+  let hist_of (h : hist_state) =
+    let buckets = ref [] in
+    for k = n_buckets - 1 downto 0 do
+      if h.h_buckets.(k) > 0 then buckets := (k, h.h_buckets.(k)) :: !buckets
+    done;
+    { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+      buckets = !buckets }
+  in
+  { counters = sorted_bindings t.counters (fun r -> !r);
+    gauges = sorted_bindings t.gauges (fun r -> !r);
+    hists = sorted_bindings t.hists hist_of }
+
+(* Merge two sorted assoc lists, combining values under the same key with
+   [f]. Keeps the result sorted, which is what makes snapshot equality
+   structural and [merge] associative/commutative. *)
+let rec merge_assoc f a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+    if ka < kb then (ka, va) :: merge_assoc f ra b
+    else if kb < ka then (kb, vb) :: merge_assoc f a rb
+    else (ka, f va vb) :: merge_assoc f ra rb
+
+let merge_hist a b =
+  { count = a.count + b.count;
+    sum = a.sum + b.sum;
+    min = Stdlib.min a.min b.min;
+    max = Stdlib.max a.max b.max;
+    buckets = merge_assoc ( + ) a.buckets b.buckets }
+
+let merge a b =
+  { counters = merge_assoc ( + ) a.counters b.counters;
+    gauges = merge_assoc Float.max a.gauges b.gauges;
+    hists = merge_assoc merge_hist a.hists b.hists }
+
+let merge_all = List.fold_left merge empty
+
+let counter_value s name =
+  Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let find_hist s name = List.assoc_opt name s.hists
+
+(* ---------- estimates ---------- *)
+
+let mean h = if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
+
+(* Quantile estimate from the buckets: the upper edge of the bucket the
+   rank falls into, clamped to the observed [min, max] (exact at q = 0
+   and q = 1). Log2 buckets bound the relative error by 2x. *)
+let quantile h q =
+  if h.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec walk cum = function
+      | [] -> float_of_int h.max
+      | (k, n) :: rest ->
+        if cum + n >= rank then
+          let hi = bucket_hi k in
+          let edge = if hi = max_int then float_of_int h.max
+            else float_of_int (hi - 1)
+          in
+          edge
+        else walk (cum + n) rest
+    in
+    let est = walk 0 h.buckets in
+    Float.max (float_of_int h.min) (Float.min (float_of_int h.max) est)
+  end
+
+(* ---------- serialization ---------- *)
+
+let hist_to_json h =
+  Jsonx.Obj
+    [ ("count", Jsonx.Int h.count);
+      ("sum", Jsonx.Int h.sum);
+      ("min", Jsonx.Int (if h.count = 0 then 0 else h.min));
+      ("max", Jsonx.Int (if h.count = 0 then 0 else h.max));
+      ("buckets",
+       Jsonx.List
+         (List.map
+            (fun (k, n) -> Jsonx.List [ Jsonx.Int k; Jsonx.Int n ])
+            h.buckets)) ]
+
+let to_json s =
+  Jsonx.Obj
+    [ ("counters",
+       Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) s.counters));
+      ("gauges",
+       Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Float v)) s.gauges));
+      ("hists",
+       Jsonx.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.hists)) ]
+
+let hist_of_json j =
+  let count = Jsonx.int_field j "count" in
+  let buckets =
+    match Jsonx.member "buckets" j with
+    | Some (Jsonx.List l) ->
+      List.filter_map
+        (function
+          | Jsonx.List [ k; n ] ->
+            (match (Jsonx.to_int_opt k, Jsonx.to_int_opt n) with
+             | Some k, Some n -> Some (k, n)
+             | _ -> None)
+          | _ -> None)
+        l
+    | _ -> []
+  in
+  { count;
+    sum = Jsonx.int_field j "sum";
+    min = (if count = 0 then max_int else Jsonx.int_field j "min");
+    max = (if count = 0 then min_int else Jsonx.int_field j "max");
+    buckets = List.sort compare buckets }
+
+let of_json j =
+  let obj_bindings name =
+    match Jsonx.member name j with Some (Jsonx.Obj kvs) -> kvs | _ -> []
+  in
+  match j with
+  | Jsonx.Obj _ ->
+    Ok
+      { counters =
+          List.filter_map
+            (fun (k, v) -> Option.map (fun i -> (k, i)) (Jsonx.to_int_opt v))
+            (obj_bindings "counters")
+          |> List.sort compare;
+        gauges =
+          List.filter_map
+            (fun (k, v) -> Option.map (fun f -> (k, f)) (Jsonx.to_float_opt v))
+            (obj_bindings "gauges")
+          |> List.sort compare;
+        hists =
+          List.map (fun (k, v) -> (k, hist_of_json v)) (obj_bindings "hists")
+          |> List.sort (fun (a, _) (b, _) -> compare a b) }
+  | _ -> Error "metrics snapshot is not an object"
+
+(* ---------- rendering ---------- *)
+
+(* Text table for `witcher run -v` and campaign reports: counters first,
+   then one line per histogram with count/mean/p50/p99/max. *)
+let render s =
+  let b = Buffer.create 256 in
+  if s.counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-36s %12d\n" k v))
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-36s %12.3f\n" k v))
+      s.gauges
+  end;
+  if s.hists <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "  %-36s %8s %10s %8s %8s %8s\n" "histogram" "count"
+         "mean" "p50" "p99" "max");
+    List.iter
+      (fun (k, h) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %-36s %8d %10.1f %8.0f %8.0f %8d\n" k h.count
+              (mean h) (quantile h 0.5) (quantile h 0.99)
+              (if h.count = 0 then 0 else h.max)))
+      s.hists
+  end;
+  Buffer.contents b

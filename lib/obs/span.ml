@@ -1,0 +1,122 @@
+(* Nestable timed spans with key/value attributes. A [buf] collects
+   completed spans (wall-clock start + duration + nesting depth); the
+   engine wraps its pipeline stages in [with_span], campaign workers ship
+   their buffer back to the orchestrator over the result pipe, and
+   [Trace_export] turns buffers into a Chrome trace_event file.
+
+   Spans close strictly LIFO ([with_span] brackets a callback and closes
+   on exception too), so the events of one buffer are always properly
+   nested: two spans either do not overlap in time, or one contains the
+   other and the inner one is deeper. [well_nested] checks exactly that
+   and is asserted in tests over exported traces. *)
+
+type event = {
+  name : string;
+  ts : float;                     (* start, seconds since the epoch *)
+  dur : float;                    (* seconds *)
+  depth : int;                    (* nesting depth at open (0 = top) *)
+  attrs : (string * string) list;
+}
+
+type buf = {
+  mutable events : event list;    (* completion order, most recent first *)
+  mutable depth : int;            (* currently open spans *)
+}
+
+let create_buf () = { events = []; depth = 0 }
+
+(* The shared per-process buffer, paired with [Metrics.default]:
+   [Engine.run] clears it at entry, workers serialize it after the run. *)
+let default_buf = create_buf ()
+
+let clear b =
+  b.events <- [];
+  b.depth <- 0
+
+(* Completed spans in start order (stable for equal timestamps: an outer
+   span sorts before the inner spans it contains). *)
+let events b =
+  List.stable_sort
+    (fun a b' -> if a.ts = b'.ts then compare a.depth b'.depth else compare a.ts b'.ts)
+    (List.rev b.events)
+
+(* Record a span with explicit timing at the current depth. The engine
+   uses this to lay out the pipeline-fused gen/equiv stages as two
+   adjacent logical spans whose durations are measured, not bracketed. *)
+let add ?(buf = default_buf) ?(attrs = []) ~name ~ts ~dur () =
+  buf.events <- { name; ts; dur = Float.max 0. dur; depth = buf.depth; attrs }
+                :: buf.events
+
+let with_span ?(buf = default_buf) ?(attrs = []) name f =
+  let t0 = Unix.gettimeofday () in
+  let depth = buf.depth in
+  buf.depth <- depth + 1;
+  let finish () =
+    buf.depth <- depth;
+    buf.events <-
+      { name; ts = t0; dur = Unix.gettimeofday () -. t0; depth; attrs }
+      :: buf.events
+  in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* No span closes before a child it contains: for every pair of events,
+   their intervals are either disjoint or nested, and containment implies
+   strictly greater depth. [eps] absorbs clock granularity. *)
+let well_nested ?(eps = 1e-6) evs =
+  let contains a b =
+    a.ts <= b.ts +. eps && b.ts +. b.dur <= a.ts +. a.dur +. eps
+  in
+  let disjoint a b =
+    a.ts +. a.dur <= b.ts +. eps || b.ts +. b.dur <= a.ts +. eps
+  in
+  let pair_ok a b =
+    if disjoint a b then true
+    else if contains a b && a.depth < b.depth then true
+    else if contains b a && b.depth < a.depth then true
+    else false
+  in
+  let arr = Array.of_list evs in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (pair_ok arr.(i) arr.(j)) then ok := false
+    done
+  done;
+  !ok
+
+(* ---------- serialization (worker -> orchestrator) ---------- *)
+
+let event_to_json e =
+  Jsonx.Obj
+    [ ("name", Jsonx.Str e.name);
+      ("ts", Jsonx.Float e.ts);
+      ("dur", Jsonx.Float e.dur);
+      ("depth", Jsonx.Int e.depth);
+      ("attrs",
+       Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) e.attrs)) ]
+
+let event_of_json j =
+  match j with
+  | Jsonx.Obj _ ->
+    Some
+      { name = Jsonx.str_field j "name";
+        ts = Jsonx.float_field j "ts";
+        dur = Jsonx.float_field j "dur";
+        depth = Jsonx.int_field j "depth";
+        attrs =
+          (match Jsonx.member "attrs" j with
+           | Some (Jsonx.Obj kvs) ->
+             List.filter_map
+               (fun (k, v) -> Option.map (fun s -> (k, s)) (Jsonx.to_str_opt v))
+               kvs
+           | _ -> []) }
+  | _ -> None
+
+let events_to_json evs = Jsonx.List (List.map event_to_json evs)
+
+let events_of_json = function
+  | Jsonx.List l -> List.filter_map event_of_json l
+  | _ -> []

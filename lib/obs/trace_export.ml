@@ -1,0 +1,75 @@
+(* Chrome trace_event JSON ("JSON Object Format"), loadable in Perfetto /
+   chrome://tracing. One track per process: campaign workers each get
+   their own pid row (named after the job they ran), the orchestrator
+   gets a row of per-job spans, and a single `witcher run` exports its
+   own pid. Spans become "X" (complete) events; ts/dur are microseconds.
+
+   Nesting needs no explicit B/E pairing: Perfetto stacks X events on
+   the same pid/tid by containment, which [Span.with_span]'s LIFO
+   discipline guarantees. *)
+
+type track = {
+  pid : int;
+  label : string;                 (* process_name shown on the track *)
+  events : Span.event list;
+}
+
+let micros s = int_of_float (Float.round (s *. 1e6))
+
+let event_json ~pid (e : Span.event) =
+  Jsonx.Obj
+    [ ("name", Jsonx.Str e.name);
+      ("ph", Jsonx.Str "X");
+      ("pid", Jsonx.Int pid);
+      ("tid", Jsonx.Int pid);
+      ("ts", Jsonx.Int (micros e.ts));
+      ("dur", Jsonx.Int (Stdlib.max 1 (micros e.dur)));
+      ("args",
+       Jsonx.Obj
+         (("depth", Jsonx.Int e.depth)
+          :: List.map (fun (k, v) -> (k, Jsonx.Str v)) e.attrs)) ]
+
+let meta_json ~pid ~label =
+  Jsonx.Obj
+    [ ("name", Jsonx.Str "process_name");
+      ("ph", Jsonx.Str "M");
+      ("pid", Jsonx.Int pid);
+      ("tid", Jsonx.Int pid);
+      ("args", Jsonx.Obj [ ("name", Jsonx.Str label) ]) ]
+
+let to_json tracks =
+  let events =
+    List.concat_map
+      (fun t ->
+         meta_json ~pid:t.pid ~label:t.label
+         :: List.map (event_json ~pid:t.pid) t.events)
+      tracks
+  in
+  Jsonx.Obj
+    [ ("traceEvents", Jsonx.List events);
+      ("displayTimeUnit", Jsonx.Str "ms") ]
+
+let to_string tracks = Jsonx.to_string (to_json tracks)
+
+let write ~path tracks =
+  let oc = open_out path in
+  output_string oc (to_string tracks);
+  output_char oc '\n';
+  close_out oc
+
+(* Merge tracks sharing a pid (a recycled worker pid must not produce two
+   process_name metadata rows); first label wins, events concatenate. *)
+let coalesce tracks =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+       match Hashtbl.find_opt tbl t.pid with
+       | None ->
+         order := t.pid :: !order;
+         Hashtbl.add tbl t.pid t
+       | Some prev ->
+         Hashtbl.replace tbl t.pid
+           { prev with events = prev.events @ t.events })
+    tracks;
+  List.rev_map (fun pid -> Hashtbl.find tbl pid) !order

@@ -1,0 +1,208 @@
+(* End-to-end observability smoke check, run by the `obs-smoke` dune
+   alias against the output directory of a tiny `witcher campaign
+   --trace-out --heartbeat` sweep. Asserts the acceptance criteria that
+   only hold across the full pipeline:
+
+   - trace.json is valid JSON (parses with Jsonx), has one well-nested
+     track per worker pid plus an orchestrator overview track;
+   - per job, the stage span durations in the journal's obs payload sum
+     to the journal's own t_record + t_infer + t_gen + t_equiv within
+     max(5%, 20ms);
+   - merging the per-worker metrics snapshots reproduces (a) the
+     report.json "metrics" object and (b) exactly what a single process
+     re-running every job observes — the merge-exactness guarantee. *)
+
+module W = Witcher
+module C = Campaign
+module J = Obs.Jsonx
+module M = Obs.Metrics
+module S = Obs.Span
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+       prerr_endline ("obs-smoke: FAIL: " ^ s);
+       exit 1)
+    fmt
+
+let pass fmt = Printf.ksprintf (fun s -> print_endline ("obs-smoke: " ^ s)) fmt
+
+let read_file path =
+  if not (Sys.file_exists path) then fail "missing %s" path;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let parse_file path =
+  match J.of_string (read_file path) with
+  | Error e -> fail "%s does not parse as JSON: %s" path e
+  | Ok j -> j
+
+(* ---------- trace.json ---------- *)
+
+let check_trace dir =
+  let trace = parse_file (Filename.concat dir "trace.json") in
+  let events =
+    match J.member "traceEvents" trace with
+    | Some (J.List l) -> l
+    | _ -> fail "trace.json has no traceEvents array"
+  in
+  if events = [] then fail "trace.json has no events";
+  (* pid -> track label, from the "M" process_name metadata rows *)
+  let labels = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+       if J.str_field e "ph" = "M" then
+         match J.member "args" e with
+         | Some a -> Hashtbl.replace labels (J.int_field e "pid") (J.str_field a "name")
+         | None -> ())
+    events;
+  let xs = List.filter (fun e -> J.str_field e "ph" = "X") events in
+  let pids =
+    List.sort_uniq compare (List.map (fun e -> J.int_field e "pid") xs)
+  in
+  let worker_pids =
+    List.filter
+      (fun pid -> Hashtbl.find_opt labels pid <> Some "orchestrator")
+      pids
+  in
+  if List.length worker_pids < 2 then
+    fail "expected >= 2 distinct worker pid tracks, got %d"
+      (List.length worker_pids);
+  if not (List.exists (fun pid -> Hashtbl.find_opt labels pid = Some "orchestrator") pids)
+  then fail "trace has no orchestrator track";
+  (* every pid's events must still be properly nested after the
+     micros round-trip (eps absorbs the 1us rounding + min-duration) *)
+  List.iter
+    (fun pid ->
+       let evs =
+         List.filter_map
+           (fun e ->
+              if J.int_field e "pid" <> pid then None
+              else
+                Some
+                  { S.name = J.str_field e "name";
+                    ts = float_of_int (J.int_field e "ts") /. 1e6;
+                    dur = float_of_int (J.int_field e "dur") /. 1e6;
+                    depth =
+                      (match J.member "args" e with
+                       | Some a -> J.int_field a "depth"
+                       | None -> 0);
+                    attrs = [] })
+           xs
+       in
+       if not (S.well_nested ~eps:5e-6 evs) then
+         fail "trace events for pid %d are not well nested" pid)
+    pids;
+  pass "trace.json ok: %d span events across %d worker tracks + orchestrator"
+    (List.length xs) (List.length worker_pids)
+
+(* ---------- journal: span sums vs measured stage times ---------- *)
+
+let stage_names = [ "stage.record"; "stage.infer"; "stage.gen"; "stage.equiv" ]
+
+let check_span_sums (records : C.Journal.record list) =
+  List.iter
+    (fun (r : C.Journal.record) ->
+       let result =
+         match r.result with
+         | Some j -> j
+         | None -> fail "ok record %s has no result" (C.Job.describe r.spec)
+       in
+       let spans = C.Journal.obs_spans r in
+       if spans = [] then
+         fail "record %s carries no spans" (C.Job.describe r.spec);
+       if not (List.exists (fun (e : S.event) -> e.name = "engine.run") spans)
+       then fail "record %s has no engine.run span" (C.Job.describe r.spec);
+       let span_sum =
+         List.fold_left
+           (fun acc (e : S.event) ->
+              if List.mem e.name stage_names then acc +. e.dur else acc)
+           0. spans
+       in
+       let journal_sum =
+         J.float_field result "t_record" +. J.float_field result "t_infer"
+         +. J.float_field result "t_gen" +. J.float_field result "t_equiv"
+       in
+       let tol = Float.max (0.05 *. journal_sum) 0.02 in
+       if Float.abs (span_sum -. journal_sum) > tol then
+         fail "%s: stage spans sum to %.4fs but journal times sum to %.4fs"
+           (C.Job.describe r.spec) span_sum journal_sum)
+    records;
+  pass "stage span durations match journal stage times for %d jobs"
+    (List.length records)
+
+(* ---------- metrics: merged workers = report = single process ---------- *)
+
+(* Re-run one job in this process exactly the way a campaign worker does
+   (mirrors Orchestrator.default_run_job) and snapshot the registry. *)
+let run_spec_in_process (spec : C.Job.spec) =
+  match Stores.Registry.find spec.C.Job.store with
+  | None -> fail "unknown store %s" spec.C.Job.store
+  | Some e ->
+    let instance =
+      match spec.C.Job.variant with
+      | C.Job.Buggy -> e.Stores.Registry.buggy ()
+      | C.Job.Fixed -> e.Stores.Registry.fixed ()
+    in
+    let cfg =
+      { W.Engine.default_cfg with
+        workload =
+          { W.Workload.default with n_ops = spec.C.Job.n_ops;
+            seed = spec.C.Job.seed };
+        crash =
+          { W.Crash_gen.default_cfg with max_images = spec.C.Job.max_images } }
+    in
+    ignore (W.Engine.run ~cfg instance);
+    M.snapshot M.default
+
+let check_metrics dir (records : C.Journal.record list) =
+  let snaps = List.filter_map C.Journal.obs_metrics records in
+  if List.length snaps < 2 then
+    fail "expected >= 2 worker metrics snapshots, got %d" (List.length snaps);
+  let merged = M.merge_all snaps in
+  if M.counter_value merged "equiv.checks" = 0 then
+    fail "merged metrics carry no equiv.checks counter";
+  if M.find_hist merged "crash_sim.overlay_lines" = None then
+    fail "merged metrics carry no crash_sim.overlay_lines histogram";
+  (* (a) report.json embeds the same merged snapshot *)
+  let report = parse_file (Filename.concat dir "report.json") in
+  (match J.member "metrics" report with
+   | None -> fail "report.json has no metrics object"
+   | Some m ->
+     (match M.of_json m with
+      | Error e -> fail "report.json metrics do not decode: %s" e
+      | Ok s ->
+        if s <> merged then
+          fail "report.json metrics differ from merged journal snapshots"));
+  (* (b) merge exactness: a single process re-running every job observes
+     exactly the merged per-worker totals *)
+  let single =
+    M.merge_all
+      (List.map (fun (r : C.Journal.record) -> run_spec_in_process r.spec)
+         records)
+  in
+  if single <> merged then begin
+    prerr_endline "--- merged worker snapshots ---";
+    prerr_endline (M.render merged);
+    prerr_endline "--- single-process totals ---";
+    prerr_endline (M.render single);
+    fail "merged worker metrics differ from single-process totals"
+  end;
+  pass "metrics merge is exact across %d workers (and matches report.json)"
+    (List.length snaps)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "obs-smoke-out" in
+  let records = C.Journal.load (Filename.concat dir "journal.jsonl") in
+  if records = [] then fail "no journal records in %s" dir;
+  List.iter
+    (fun (r : C.Journal.record) ->
+       if r.status <> C.Journal.Job_ok then
+         fail "job %s did not finish ok" (C.Job.describe r.spec))
+    records;
+  check_trace dir;
+  check_span_sums records;
+  check_metrics dir records;
+  pass "all checks passed"

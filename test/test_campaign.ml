@@ -21,7 +21,7 @@ let tmp_dir () =
   d
 
 let orch_cfg ?(j = 2) ?(timeout = 120.) ?(resume = false) out_dir =
-  { C.Orchestrator.j; timeout; out_dir; resume; progress = ignore }
+  { C.Orchestrator.default_cfg with j; timeout; out_dir; resume }
 
 let spec ?(variant = C.Job.Buggy) ?(seed = 1) ?(n_ops = 40)
     ?(max_images = 200) store =

@@ -1,0 +1,288 @@
+(* Observability layer tests: histogram bucket geometry, quantile
+   estimates on known distributions, merge algebra (associative,
+   commutative, and exact w.r.t. a single-process registry — the
+   property campaign aggregation depends on), span nesting, and the
+   Chrome-trace exporter. *)
+
+module M = Obs.Metrics
+module S = Obs.Span
+module T = Obs.Trace_export
+module J = Obs.Jsonx
+
+(* ---------- buckets ---------- *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "v<=0 goes to bucket 0" 0 (M.bucket_of 0);
+  Alcotest.(check int) "negative goes to bucket 0" 0 (M.bucket_of (-7));
+  Alcotest.(check int) "1 -> bucket 1" 1 (M.bucket_of 1);
+  Alcotest.(check int) "2 -> bucket 2" 2 (M.bucket_of 2);
+  Alcotest.(check int) "3 -> bucket 2" 2 (M.bucket_of 3);
+  Alcotest.(check int) "4 -> bucket 3" 3 (M.bucket_of 4);
+  Alcotest.(check int) "1023 -> bucket 10" 10 (M.bucket_of 1023);
+  Alcotest.(check int) "1024 -> bucket 11" 11 (M.bucket_of 1024);
+  Alcotest.(check int) "max_int clamps to last bucket" (M.n_buckets - 1)
+    (M.bucket_of max_int);
+  (* every positive v lands inside [bucket_lo k, bucket_hi k); the last
+     bucket is the open-ended clamp, where hi = max_int is inclusive *)
+  List.iter
+    (fun v ->
+       let k = M.bucket_of v in
+       Alcotest.(check bool)
+         (Printf.sprintf "lo <= %d < hi for bucket %d" v k)
+         true
+         (M.bucket_lo k <= v
+          && (v < M.bucket_hi k || k = M.n_buckets - 1)))
+    [ 1; 2; 3; 4; 5; 7; 8; 63; 64; 65; 4095; 4096; 1_000_000; max_int ]
+
+let test_quantiles_known_distribution () =
+  let m = M.create () in
+  (* uniform 1..1000: p50 true value 500, p99 true value 990 *)
+  for v = 1 to 1000 do
+    M.observe ~m "u" v
+  done;
+  let h = Option.get (M.find_hist (M.snapshot m) "u") in
+  Alcotest.(check int) "count" 1000 h.M.count;
+  Alcotest.(check bool) "mean close to 500.5" true
+    (Float.abs (M.mean h -. 500.5) < 0.001);
+  let p50 = M.quantile h 0.5 in
+  (* log2 buckets bound the error by one bucket: 500 lives in [256,512) *)
+  Alcotest.(check bool) "p50 within its bucket's reach" true
+    (p50 >= 256. && p50 <= 1000.);
+  let p99 = M.quantile h 0.99 in
+  Alcotest.(check bool) "p99 within a factor of 2" true
+    (p99 >= 512. && p99 <= 1000.);
+  Alcotest.(check bool) "q=1 is the exact max" true (M.quantile h 1.0 = 1000.);
+  Alcotest.(check bool) "q=0 is at least the min" true (M.quantile h 0.0 >= 1.);
+  (* a constant distribution estimates exactly *)
+  let m2 = M.create () in
+  for _ = 1 to 50 do M.observe ~m:m2 "c" 42 done;
+  let hc = Option.get (M.find_hist (M.snapshot m2) "c") in
+  Alcotest.(check bool) "constant p50 = 42 (clamped to max)" true
+    (M.quantile hc 0.5 = 42.)
+
+(* ---------- merge algebra ---------- *)
+
+(* Random snapshot: a random op sequence applied to a fresh registry.
+   [with_gauges:false] restricts to counters + histograms, the part of
+   the algebra that must be *exact* under partitioning (gauges merge by
+   max, which is associative/commutative but not partition-exact). *)
+let ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 80)
+      (triple (int_range 0 2) (int_range 0 3) (int_range (-4) 2000)))
+
+let apply_ops ~with_gauges m ops =
+  List.iter
+    (fun (kind, name_i, v) ->
+       let name = Printf.sprintf "m%d" name_i in
+       match kind with
+       | 0 -> M.incr ~m ~n:v name
+       | 1 -> if with_gauges then M.set_gauge ~m name (float_of_int v)
+         else M.observe ~m name v
+       | _ -> M.observe ~m name v)
+    ops
+
+let snap_of ~with_gauges ops =
+  let m = M.create () in
+  apply_ops ~with_gauges m ops;
+  M.snapshot m
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge is commutative" ~count:200
+    QCheck2.Gen.(pair ops_gen ops_gen)
+    (fun (a, b) ->
+       let sa = snap_of ~with_gauges:true a
+       and sb = snap_of ~with_gauges:true b in
+       M.merge sa sb = M.merge sb sa)
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge is associative" ~count:200
+    QCheck2.Gen.(triple ops_gen ops_gen ops_gen)
+    (fun (a, b, c) ->
+       let sa = snap_of ~with_gauges:true a
+       and sb = snap_of ~with_gauges:true b
+       and sc = snap_of ~with_gauges:true c in
+       M.merge sa (M.merge sb sc) = M.merge (M.merge sa sb) sc)
+
+let prop_merge_partition_exact =
+  (* splitting one op stream across workers and merging the snapshots
+     reproduces the single-registry totals exactly — the multi-process
+     aggregation guarantee the campaign report relies on *)
+  QCheck2.Test.make ~name:"merge of a partition = single registry" ~count:200
+    QCheck2.Gen.(pair ops_gen (int_range 0 100))
+    (fun (ops, cut_pct) ->
+       let n = List.length ops in
+       let cut = cut_pct * n / 100 in
+       let left = List.filteri (fun i _ -> i < cut) ops
+       and right = List.filteri (fun i _ -> i >= cut) ops in
+       let whole = snap_of ~with_gauges:false ops in
+       let merged =
+         M.merge (snap_of ~with_gauges:false left)
+           (snap_of ~with_gauges:false right)
+       in
+       whole = merged)
+
+let prop_merge_empty_identity =
+  QCheck2.Test.make ~name:"empty is the merge identity" ~count:100 ops_gen
+    (fun ops ->
+       let s = snap_of ~with_gauges:true ops in
+       M.merge s M.empty = s && M.merge M.empty s = s)
+
+let test_snapshot_json_roundtrip () =
+  let m = M.create () in
+  M.incr ~m ~n:7 "a.count";
+  M.incr ~m "b.count";
+  M.set_gauge ~m "g" 2.5;
+  for v = 1 to 100 do M.observe ~m "h" (v * 3) done;
+  M.observe ~m "h" (-1);
+  let s = M.snapshot m in
+  match J.of_string (J.to_string (M.to_json s)) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    (match M.of_json j with
+     | Error e -> Alcotest.fail e
+     | Ok s' ->
+       Alcotest.(check bool) "snapshot survives JSON round-trip" true (s = s');
+       Alcotest.(check int) "counter value" 7 (M.counter_value s' "a.count"))
+
+(* ---------- spans ---------- *)
+
+let test_span_nesting () =
+  let buf = S.create_buf () in
+  S.with_span ~buf "outer" (fun () ->
+      S.with_span ~buf "child1" (fun () -> ignore (Sys.opaque_identity 1));
+      S.with_span ~buf "child2" (fun () ->
+          S.with_span ~buf "grandchild" (fun () -> ())));
+  let evs = S.events buf in
+  Alcotest.(check int) "four spans recorded" 4 (List.length evs);
+  let by_name n = List.find (fun (e : S.event) -> e.name = n) evs in
+  Alcotest.(check int) "outer at depth 0" 0 (by_name "outer").depth;
+  Alcotest.(check int) "child at depth 1" 1 (by_name "child1").depth;
+  Alcotest.(check int) "grandchild at depth 2" 2 (by_name "grandchild").depth;
+  Alcotest.(check bool) "events are well nested" true (S.well_nested evs);
+  Alcotest.(check bool) "outer listed first (start order)" true
+    ((List.hd evs).name = "outer")
+
+let test_span_closes_on_exception () =
+  let buf = S.create_buf () in
+  (try
+     S.with_span ~buf "doomed" (fun () ->
+         S.with_span ~buf "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let evs = S.events buf in
+  Alcotest.(check int) "both spans recorded despite the raise" 2
+    (List.length evs);
+  Alcotest.(check bool) "depth restored" true (S.well_nested evs);
+  (* the buffer is reusable: depth went back to 0 *)
+  S.with_span ~buf "after" (fun () -> ());
+  Alcotest.(check int) "post-exception span at depth 0" 0
+    (List.find (fun (e : S.event) -> e.name = "after") (S.events buf)).S.depth
+
+let test_span_json_roundtrip () =
+  let buf = S.create_buf () in
+  S.with_span ~buf ~attrs:[ ("store", "wort") ] "engine.run" (fun () ->
+      S.with_span ~buf "stage.record" (fun () -> ()));
+  let evs = S.events buf in
+  let evs' = S.events_of_json (S.events_to_json evs) in
+  Alcotest.(check int) "all events survive" (List.length evs)
+    (List.length evs');
+  List.iter2
+    (fun (a : S.event) (b : S.event) ->
+       Alcotest.(check string) "name" a.name b.name;
+       Alcotest.(check int) "depth" a.depth b.depth;
+       Alcotest.(check bool) "attrs" true (a.attrs = b.attrs))
+    evs evs'
+
+(* ---------- trace export ---------- *)
+
+(* Deterministic synthetic tracks (explicit timings via [S.add]). *)
+let synthetic_track pid label t0 =
+  let buf = S.create_buf () in
+  S.add ~buf ~name:"engine.run" ~ts:t0 ~dur:1.0 ();
+  buf.S.depth <- 1;
+  S.add ~buf ~name:"stage.record" ~ts:t0 ~dur:0.25 ();
+  S.add ~buf ~name:"stage.gen" ~ts:(t0 +. 0.25) ~dur:0.5 ();
+  S.add ~buf ~name:"stage.equiv" ~ts:(t0 +. 0.75) ~dur:0.25 ();
+  buf.S.depth <- 0;
+  { T.pid; label; events = S.events buf }
+
+let x_events_of_json j =
+  match J.member "traceEvents" j with
+  | Some (J.List l) ->
+    List.filter (fun e -> J.str_field e "ph" = "X") l
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let test_trace_export_valid_and_nested () =
+  let tracks = [ synthetic_track 100 "w1" 10.; synthetic_track 200 "w2" 10.5 ] in
+  match J.of_string (T.to_string tracks) with
+  | Error e -> Alcotest.fail ("trace JSON does not parse: " ^ e)
+  | Ok j ->
+    let xs = x_events_of_json j in
+    Alcotest.(check int) "8 span events" 8 (List.length xs);
+    let pids =
+      List.sort_uniq compare (List.map (fun e -> J.int_field e "pid") xs)
+    in
+    Alcotest.(check (list int)) "one track per pid" [ 100; 200 ] pids;
+    (* per pid, the exported events are still well nested *)
+    List.iter
+      (fun pid ->
+         let evs =
+           List.filter_map
+             (fun e ->
+                if J.int_field e "pid" <> pid then None
+                else
+                  Some
+                    { S.name = J.str_field e "name";
+                      ts = float_of_int (J.int_field e "ts") /. 1e6;
+                      dur = float_of_int (J.int_field e "dur") /. 1e6;
+                      depth =
+                        (match J.member "args" e with
+                         | Some a -> J.int_field a "depth"
+                         | None -> 0);
+                      attrs = [] })
+             xs
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "pid %d track well nested" pid)
+           true
+           (S.well_nested ~eps:2e-6 evs))
+      [ 100; 200 ];
+    (* each pid carries a process_name metadata row *)
+    (match J.member "traceEvents" j with
+     | Some (J.List l) ->
+       let metas =
+         List.filter (fun e -> J.str_field e "ph" = "M") l
+         |> List.map (fun e -> J.int_field e "pid")
+         |> List.sort_uniq compare
+       in
+       Alcotest.(check (list int)) "metadata per pid" [ 100; 200 ] metas
+     | _ -> Alcotest.fail "no traceEvents")
+
+let test_trace_coalesce_recycled_pid () =
+  let t1 = synthetic_track 300 "job-a" 1. in
+  let t2 = synthetic_track 300 "job-b" 5. in
+  let merged = T.coalesce [ t1; t2 ] in
+  Alcotest.(check int) "one track for the recycled pid" 1 (List.length merged);
+  let t = List.hd merged in
+  Alcotest.(check string) "first label wins" "job-a" t.T.label;
+  Alcotest.(check int) "events concatenated" 8 (List.length t.T.events)
+
+let suite =
+  [ Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_bucket_boundaries;
+    Alcotest.test_case "quantile estimates on known distributions" `Quick
+      test_quantiles_known_distribution;
+    Alcotest.test_case "snapshot JSON roundtrip" `Quick
+      test_snapshot_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_merge_associative;
+    QCheck_alcotest.to_alcotest prop_merge_partition_exact;
+    QCheck_alcotest.to_alcotest prop_merge_empty_identity;
+    Alcotest.test_case "spans nest and record depth" `Quick test_span_nesting;
+    Alcotest.test_case "spans close on exception" `Quick
+      test_span_closes_on_exception;
+    Alcotest.test_case "span JSON roundtrip" `Quick test_span_json_roundtrip;
+    Alcotest.test_case "chrome trace valid + nested + per-pid tracks" `Quick
+      test_trace_export_valid_and_nested;
+    Alcotest.test_case "trace coalesces recycled pids" `Quick
+      test_trace_coalesce_recycled_pid ]

@@ -9,4 +9,5 @@ let () =
       ("infer+crashgen", Test_infer_gen.suite);
       ("stores", Test_stores.suite);
       ("engine", Test_engine.suite);
-      ("campaign", Test_campaign.suite) ]
+      ("campaign", Test_campaign.suite);
+      ("obs", Test_obs.suite) ]
