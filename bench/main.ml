@@ -353,6 +353,110 @@ let validate () =
        print_endline ("  " ^ W.Report.timing_line r))
     [ "level-hash"; "fast-fair" ]
 
+(* --- oracle: lazy + checkpointed + memoized checking vs eager legacy --- *)
+
+let oracle () =
+  section
+    "Oracle memoization: lazy + checkpointed + digest-memoized checking vs \
+     eager oracles";
+  Printf.printf
+    "%-12s | %6s %8s | %9s %6s %7s | %7s %7s %8s %6s %7s\n"
+    "store" "#img" "#mismtch" "legacy(s)" "opt(s)" "speedup"
+    "orc-leg" "orc-opt" "ops-savd" "#memo" "ckpt-MB";
+  print_endline line;
+  let ckpt_stride = W.Engine.default_cfg.ckpt_stride in
+  let fuel = W.Engine.default_cfg.fuel in
+  let speedups = ref [] in
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       (* Record locally (not via [record_store]): this run carries
+          checkpoints, and dropping the binding after the iteration keeps
+          only one store's snapshots alive at a time. *)
+       let module S = (val e.buggy ()) in
+       let wl =
+         if S.supports_scan then { W.Workload.default with n_ops }
+         else W.Workload.no_scan { W.Workload.default with n_ops }
+       in
+       let rec_ =
+         W.Driver.record ~ckpt_stride (module S) (W.Workload.generate wl)
+       in
+       let conds = W.Infer.infer rec_.trace in
+       let crash_cfg = { W.Crash_gen.default_cfg with max_images } in
+       let gen on_image =
+         W.Crash_gen.generate ~cfg:crash_cfg ~trace:rec_.trace ~conds
+           ~pool_size:rec_.pool_size ~on_image ()
+       in
+       let key = function
+         | W.Equiv.Consistent -> -1
+         | W.Equiv.Inconsistent d -> d.first_diff
+       in
+       (* Pass A — legacy: every rolled-back oracle built eagerly by a
+          full O(n) re-run, every image replayed (the pre-memoization
+          checker). *)
+       let legacy_checker =
+         W.Equiv.create ~fuel ~lazy_oracle:false ~memo:false (module S)
+           ~ops:rec_.ops ~committed:rec_.outputs
+       in
+       let legacy = ref [] in
+       let t_legacy = ref 0. in
+       let _ =
+         gen (fun (img : W.Crash_gen.image) ->
+             let t0 = Unix.gettimeofday () in
+             let v =
+               W.Equiv.check legacy_checker ~img:img.img ~crash_op:img.crash_op
+             in
+             t_legacy := !t_legacy +. (Unix.gettimeofday () -. t0);
+             legacy := (img.crash_op, key v) :: !legacy;
+             `Continue)
+       in
+       (* Pass B — optimized: lazy oracles resumed from record-time
+          checkpoints, digest-keyed verdict memo. *)
+       let checker =
+         W.Equiv.create ~fuel ~checkpoints:rec_.checkpoints (module S)
+           ~ops:rec_.ops ~committed:rec_.outputs
+       in
+       let opt = ref [] in
+       let t_opt = ref 0. in
+       let _ =
+         gen (fun (img : W.Crash_gen.image) ->
+             let t0 = Unix.gettimeofday () in
+             let v =
+               W.Equiv.check ~digest:img.digest checker ~img:img.img
+                 ~crash_op:img.crash_op
+             in
+             t_opt := !t_opt +. (Unix.gettimeofday () -. t0);
+             opt := (img.crash_op, key v) :: !opt;
+             `Continue)
+       in
+       (* Hard parity assertion: the optimizations must be invisible in
+          the verdicts. *)
+       if !legacy <> !opt then
+         failwith
+           (Printf.sprintf
+              "bench oracle: %s verdict sequences differ between legacy and \
+               optimized checkers" name);
+       let mismatches = List.length (List.filter (fun (_, d) -> d >= 0) !opt) in
+       let stl = W.Equiv.stats legacy_checker in
+       let sto = W.Equiv.stats checker in
+       let speedup = if !t_opt > 0. then !t_legacy /. !t_opt else 0. in
+       speedups := (name, speedup) :: !speedups;
+       Printf.printf
+         "%-12s | %6d %8d | %9.2f %6.2f %6.2fx | %7d %7d %8d %6d %7.2f\n"
+         name (List.length !opt) mismatches !t_legacy !t_opt speedup
+         stl.W.Equiv.n_oracle_runs sto.W.Equiv.n_oracle_runs
+         sto.W.Equiv.n_oracle_ops_saved sto.W.Equiv.n_memo_hits
+         (float_of_int (List.length rec_.checkpoints * rec_.pool_size)
+          /. 1024. /. 1024.))
+    [ "level-hash"; "fast-fair"; "cceh" ];
+  let fast =
+    List.length (List.filter (fun (_, s) -> s >= 1.5) !speedups)
+  in
+  Printf.printf
+    "\n%d/%d stores at >= 1.5x validation-stage speedup (per-image verdicts \
+     identical on all).\n"
+    fast (List.length !speedups)
+
 (* --- Bechamel micro-benchmarks: pipeline stage costs --- *)
 
 let micro () =
@@ -414,7 +518,7 @@ let sections =
   [ "table1", table1; "table2", table2; "table3", table3; "table4", table4;
     "table5", table5; "fig4", fig4; "random", random_baseline;
     "compare", compare_tools; "nonkv", nonkv; "validate", validate;
-    "micro", micro ]
+    "oracle", oracle; "micro", micro ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

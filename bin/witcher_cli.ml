@@ -4,7 +4,8 @@
 
      witcher list [--json]
      witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v] [--json]
-                 [--trace-out t.json]
+                 [--trace-out t.json] [--no-lazy-oracle] [--no-memo]
+                 [--ckpt-stride N]
      witcher campaign -j 4 [--stores a,b] [--seeds 1,2,3] [--fixed-too]
                       [--out dir] [--resume] [--heartbeat SECS]
                       [--trace-out t.json]
@@ -58,6 +59,34 @@ let trace_out_arg =
            ~doc:"Write a Chrome trace_event JSON file (load it in Perfetto \
                  or chrome://tracing).")
 
+(* A/B switches for the oracle/replay optimizations (DESIGN §5). Exposed
+   on `run` only: campaign job keys must stay a pure function of the
+   (store, variant, seed, n, images) matrix cell. *)
+let no_lazy_oracle_arg =
+  let open Cmdliner in
+  Arg.(value & flag
+       & info [ "no-lazy-oracle" ]
+           ~doc:"Build every rolled-back oracle eagerly (legacy behaviour) \
+                 instead of deferring it to the first committed-oracle \
+                 divergence.")
+
+let no_memo_arg =
+  let open Cmdliner in
+  Arg.(value & flag
+       & info [ "no-memo" ]
+           ~doc:"Disable digest-keyed verdict memoization: replay every \
+                 tested crash image even when its content digest matches an \
+                 already-checked image at the same crash point.")
+
+let ckpt_stride_arg =
+  let open Cmdliner in
+  Arg.(value & opt int W.Engine.default_cfg.ckpt_stride
+       & info [ "ckpt-stride" ] ~docv:"N"
+           ~doc:"Snapshot the pool every $(docv) operations during record; \
+                 rolled-back oracles resume from the nearest checkpoint \
+                 instead of re-running from scratch. 0 disables \
+                 checkpointing.")
+
 (* Everything the campaign says to a human goes through this one sink. *)
 let progress_sink = C.Orchestrator.stderr_progress
 
@@ -68,10 +97,14 @@ let lookup name =
     Printf.eprintf "unknown store %S; try `witcher list`\n" name;
     exit 2
 
-let engine_cfg ~ops ~seed ~max_images =
+let engine_cfg ?(lazy_oracle = W.Engine.default_cfg.lazy_oracle)
+    ?(memo = W.Engine.default_cfg.memo)
+    ?(ckpt_stride = W.Engine.default_cfg.ckpt_stride) ~ops ~seed ~max_images
+    () =
   { W.Engine.default_cfg with
     workload = { W.Workload.default with n_ops = ops; seed };
-    crash = { W.Crash_gen.default_cfg with max_images } }
+    crash = { W.Crash_gen.default_cfg with max_images };
+    lazy_oracle; memo; ckpt_stride }
 
 let list_cmd json =
   if json then begin
@@ -100,10 +133,15 @@ let list_cmd json =
   end;
   0
 
-let run_cmd store fixed ops seed max_images verbose json trace_out =
+let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
+    verbose json trace_out =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
-  let r = W.Engine.run ~cfg:(engine_cfg ~ops ~seed ~max_images) instance in
+  let cfg =
+    engine_cfg ~lazy_oracle:(not no_lazy_oracle) ~memo:(not no_memo)
+      ~ckpt_stride ~ops ~seed ~max_images ()
+  in
+  let r = W.Engine.run ~cfg instance in
   (* the run's observability state: [Engine.run] reset both at entry, so
      they cover exactly this pipeline execution *)
   let metrics = Obs.Metrics.snapshot Obs.Metrics.default in
@@ -262,7 +300,8 @@ let run_man =
 let list_t = Term.(const list_cmd $ json_arg)
 let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
-        $ max_images_arg $ verbose_arg $ json_arg $ trace_out_arg)
+        $ max_images_arg $ no_lazy_oracle_arg $ no_memo_arg $ ckpt_stride_arg
+        $ verbose_arg $ json_arg $ trace_out_arg)
 
 let campaign_t =
   let j =

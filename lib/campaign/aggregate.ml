@@ -19,6 +19,10 @@ type row = {
   n_mismatch : int;
   replay_ops : int;         (* ops re-executed by resumed runs *)
   bytes_materialized : int; (* bytes copied to build crash images *)
+  oracle_runs : int;        (* rolled-back oracles actually built *)
+  oracle_ops_saved : int;   (* oracle ops elided by laziness/checkpoints *)
+  memo_hits : int;          (* verdicts served from the digest memo *)
+  ckpt_bytes : int;         (* record-time checkpoint memory *)
   t_equiv : float;          (* summed equivalence-checking stage time *)
   wall : float;             (* summed per-job wall-clock *)
 }
@@ -36,7 +40,8 @@ type t = {
 let empty_row store variant =
   { store; variant; jobs = 0; ok = 0; failed = 0; timeout = 0; c_o = 0;
     c_a = 0; p_u = 0; p_efl = 0; p_efe = 0; p_el = 0; images_tested = 0;
-    n_mismatch = 0; replay_ops = 0; bytes_materialized = 0; t_equiv = 0.;
+    n_mismatch = 0; replay_ops = 0; bytes_materialized = 0; oracle_runs = 0;
+    oracle_ops_saved = 0; memo_hits = 0; ckpt_bytes = 0; t_equiv = 0.;
     wall = 0. }
 
 let add_record row (r : Journal.record) =
@@ -64,6 +69,11 @@ let add_record row (r : Journal.record) =
        accessors default to 0 so old sweeps still aggregate *)
     replay_ops = row.replay_ops + f "replay_ops";
     bytes_materialized = row.bytes_materialized + f "bytes_materialized";
+    (* likewise absent in pre-oracle-memoization journals *)
+    oracle_runs = row.oracle_runs + f "oracle_runs";
+    oracle_ops_saved = row.oracle_ops_saved + f "oracle_ops_saved";
+    memo_hits = row.memo_hits + f "memo_hits";
+    ckpt_bytes = row.ckpt_bytes + f "ckpt_bytes";
     t_equiv =
       (row.t_equiv
        +. match counts with None -> 0. | Some j -> Jsonx.float_field j "t_equiv");
@@ -104,6 +114,10 @@ let of_records (records : Journal.record list) =
            n_mismatch = acc.n_mismatch + row.n_mismatch;
            replay_ops = acc.replay_ops + row.replay_ops;
            bytes_materialized = acc.bytes_materialized + row.bytes_materialized;
+           oracle_runs = acc.oracle_runs + row.oracle_runs;
+           oracle_ops_saved = acc.oracle_ops_saved + row.oracle_ops_saved;
+           memo_hits = acc.memo_hits + row.memo_hits;
+           ckpt_bytes = acc.ckpt_bytes + row.ckpt_bytes;
            t_equiv = acc.t_equiv +. row.t_equiv;
            wall = acc.wall +. row.wall })
       (empty_row "TOTAL" Job.Buggy) rows
@@ -118,18 +132,20 @@ let status_cell row =
   else Printf.sprintf "%dF/%dT" row.failed row.timeout
 
 let row_line row =
-  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f %8.1f | %8.1f"
+  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f | %7d %8d %6d | %8.1f | %8.1f"
     row.store
     (if row.store = "TOTAL" then "" else Job.variant_name row.variant)
     row.jobs row.ok (status_cell row) row.c_o row.c_a row.p_u row.p_efl
     row.p_efe row.p_el row.images_tested row.n_mismatch row.replay_ops
     (float_of_int row.bytes_materialized /. 1024. /. 1024.)
+    row.oracle_runs row.oracle_ops_saved row.memo_hits
     row.t_equiv row.wall
 
 let header () =
-  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s %8s | %8s"
+  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s | %7s %8s %6s | %8s | %8s"
     "store" "var" "jobs" "ok" "status" "C-O" "C-A" "P-U" "P-EFL" "P-EFE"
-    "P-EL" "#img-tst" "#mismtch" "#replay" "mat-MB" "equiv(s)" "wall(s)"
+    "P-EL" "#img-tst" "#mismtch" "#replay" "mat-MB" "#oracle" "#o-saved"
+    "#memo" "equiv(s)" "wall(s)"
 
 (* [elapsed] is the campaign's real wall-clock; the speedup line compares
    it against running every job back to back on one core. *)
@@ -180,6 +196,10 @@ let row_json row =
       ("n_mismatch", Jsonx.Int row.n_mismatch);
       ("replay_ops", Jsonx.Int row.replay_ops);
       ("bytes_materialized", Jsonx.Int row.bytes_materialized);
+      ("oracle_runs", Jsonx.Int row.oracle_runs);
+      ("oracle_ops_saved", Jsonx.Int row.oracle_ops_saved);
+      ("memo_hits", Jsonx.Int row.memo_hits);
+      ("ckpt_bytes", Jsonx.Int row.ckpt_bytes);
       ("t_equiv", Jsonx.Float row.t_equiv);
       ("wall", Jsonx.Float row.wall) ]
 

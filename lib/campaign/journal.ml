@@ -81,6 +81,10 @@ let result_json (r : W.Engine.result) =
       ("replay_ops", Jsonx.Int r.replay_ops);
       ("replay_early_stops", Jsonx.Int r.replay_early_stops);
       ("bytes_materialized", Jsonx.Int r.bytes_materialized);
+      ("oracle_runs", Jsonx.Int r.oracle_runs);
+      ("oracle_ops_saved", Jsonx.Int r.oracle_ops_saved);
+      ("memo_hits", Jsonx.Int r.memo_hits);
+      ("ckpt_bytes", Jsonx.Int r.ckpt_bytes);
       ("t_record", Jsonx.Float r.t_record);
       ("t_infer", Jsonx.Float r.t_infer);
       ("t_gen", Jsonx.Float r.t_gen);

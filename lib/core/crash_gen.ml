@@ -55,6 +55,7 @@ type image = {
   crash_op : int;    (* trace op index containing the crash *)
   viol : violation;
   path_hash : int;   (* execution path of the crashed op up to the crash *)
+  digest : int;      (* 64-bit content digest; keys the verdict memo *)
 }
 
 type stats = {
@@ -141,7 +142,8 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
             let img = Crash_sim.materialize sim ~extras in
             let image =
               { img; crash_tid = fence_tid; crash_op = op; viol;
-                path_hash = !path_hash }
+                path_hash = !path_hash;
+                digest = Crash_sim.image_digest sim img }
             in
             match on_image image with
             | `Continue -> ()
@@ -167,10 +169,13 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
        let first_lost =
          match cand with C_po (_, tid) | C_guardian (_, tid) -> tid
        in
+       (* Count the candidate before the dedup check, exactly like [emit]:
+          [candidates] is "feasible violations found", of which [generated]
+          is the deduplicated subset. *)
+       stats.candidates <- stats.candidates + 1;
        let img_key = (fence_tid, 0) in
        if not (Hashtbl.mem img_seen img_key) then begin
          Hashtbl.add img_seen img_key ();
-         stats.candidates <- stats.candidates + 1;
          stats.generated <- stats.generated + 1;
          bump_op_count op;
          let site_key = (fence_sid, "baseline", 2) in
@@ -182,7 +187,8 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
                viol =
                  Unpersisted_epoch
                    { fence_sid; first_lost_sid = sid_of_store first_lost };
-               path_hash = !path_hash }
+               path_hash = !path_hash;
+               digest = Crash_sim.image_digest sim img }
            in
            match on_image image with
            | `Continue -> ()

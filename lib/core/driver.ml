@@ -19,15 +19,20 @@ type recorded = {
   trace : Trace.t;
   pool_size : int;
   final_image : string;  (* snapshot after the full run *)
+  checkpoints : (int * Pmem.t) list;
+  (* (op index, flat pool snapshot after that op), ascending; every
+     checkpointed pool is immutable and reusable across oracle runs *)
 }
 
-let record (module S : Store_intf.S) ops =
+let record ?(ckpt_stride = 0) (module S : Store_intf.S) ops =
   let ops = Array.of_list ops in
+  let n = Array.length ops in
   let pmem = Pmem.create S.pool_size in
   let ctx = Ctx.create ~mode:Record pmem in
   Ctx.op_begin ctx ~index:0 ~desc:"create";
   let store = S.create ctx in
   Ctx.op_end ctx ~index:0;
+  let checkpoints = ref [] in
   let outputs =
     Array.mapi
       (fun i op ->
@@ -35,12 +40,18 @@ let record (module S : Store_intf.S) ops =
          Ctx.op_begin ctx ~index ~desc:(Op.desc op);
          let out = S.exec store op in
          Ctx.op_end ctx ~index;
+         (* Checkpoints must be flat copies: the record pool keeps
+            mutating, so an O(1) COW view here would alias live bytes. *)
+         if ckpt_stride > 0 && index mod ckpt_stride = 0 && index < n then begin
+           checkpoints := (index, Pmem.copy pmem) :: !checkpoints;
+           Obs.Metrics.incr ~n:S.pool_size "driver.ckpt_bytes"
+         end;
          out)
       ops
   in
   Obs.Metrics.incr ~n:(Array.length ops) "driver.record_ops";
   { ops; outputs; trace = Ctx.trace ctx; pool_size = S.pool_size;
-    final_image = Pmem.snapshot pmem }
+    final_image = Pmem.snapshot pmem; checkpoints = List.rev !checkpoints }
 
 (* Uninstrumented execution of an arbitrary op list; used for rolled-back
    oracles. Must be deterministic w.r.t. [record] modulo the removed op. *)
@@ -50,6 +61,29 @@ let run_quiet (module S : Store_intf.S) ops =
   let ctx = Ctx.create ~mode:Quiet pmem in
   let store = S.create ctx in
   Array.of_list (List.map (S.exec store) ops)
+
+(* Rolled-back oracle from a record-time checkpoint: resume (open +
+   recover) a COW view of the pool state after op [from_op], replay trace
+   ops [from_op + 1 .. n] skipping [skip], and return the outputs of ops
+   [skip + 1 .. n] — O(n - from_op) store ops instead of the O(n) full
+   re-run. The checkpointed image is fully consistent (all ops up to
+   [from_op] committed cleanly), so recovery must behave exactly like the
+   uninterrupted run; any exception here is a driver-level failure the
+   caller handles by falling back to [run_quiet]. *)
+let oracle_from_checkpoint (module S : Store_intf.S) ~checkpoint ~ops ~from_op
+    ~skip =
+  let n = Array.length ops in
+  Obs.Metrics.incr "driver.ckpt_resumes";
+  let ctx = Ctx.create ~mode:Quiet (Pmem.cow checkpoint) in
+  let store = S.open_ ctx in
+  let out = Array.make (n - skip) Output.Ok in
+  for idx = from_op + 1 to n do
+    if idx <> skip then begin
+      let o = S.exec store ops.(idx - 1) in
+      if idx > skip then out.(idx - skip - 1) <- o
+    end
+  done;
+  out
 
 (* A resumed execution runs over a possibly corrupted image: any exception
    it raises — simulated segfault, livelock fuel, corrupt metadata tripping

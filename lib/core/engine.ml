@@ -6,11 +6,16 @@ type cfg = {
   workload : Workload.cfg;
   crash : Crash_gen.cfg;
   fuel : int;  (* access budget for resumed executions *)
+  (* Oracle/replay optimizations (DESIGN §5); each independently
+     toggleable, all verdict-equivalent to the reference checker. *)
+  lazy_oracle : bool;  (* build rolled-back oracles on first divergence *)
+  memo : bool;         (* digest-keyed verdict memoization *)
+  ckpt_stride : int;   (* record-time checkpoint every N ops; 0 = off *)
 }
 
 let default_cfg =
   { workload = Workload.default; crash = Crash_gen.default_cfg;
-    fuel = 3_000_000 }
+    fuel = 3_000_000; lazy_oracle = true; memo = true; ckpt_stride = 32 }
 
 type result = {
   name : string;
@@ -37,6 +42,10 @@ type result = {
   replay_ops : int;          (* store ops re-executed across all resumes *)
   replay_early_stops : int;  (* replays the incremental checker cut short *)
   bytes_materialized : int;  (* bytes copied to build crash images *)
+  oracle_runs : int;         (* rolled-back oracles actually built *)
+  oracle_ops_saved : int;    (* oracle ops elided by laziness/checkpoints *)
+  memo_hits : int;           (* verdicts served from the digest memo *)
+  ckpt_bytes : int;          (* record-time checkpoint memory footprint *)
   t_record : float;
   t_infer : float;
   t_gen : float;             (* crash-image generation (trace walk + COW) *)
@@ -64,7 +73,9 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   let wl = if S.supports_scan then cfg.workload else Workload.no_scan cfg.workload in
   let ops = Workload.generate wl in
   let rec_t0 = Unix.gettimeofday () in
-  let recorded, t_record = timed (fun () -> Driver.record (module S) ops) in
+  let recorded, t_record =
+    timed (fun () -> Driver.record ~ckpt_stride:cfg.ckpt_stride (module S) ops)
+  in
   Obs.Span.add ~name:"stage.record" ~ts:rec_t0 ~dur:t_record
     ~attrs:[ ("n_ops", string_of_int (Array.length recorded.ops)) ] ();
   let inf_t0 = Unix.gettimeofday () in
@@ -72,7 +83,8 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   Obs.Span.add ~name:"stage.infer" ~ts:inf_t0 ~dur:t_infer ();
   let perf = Perf.detect recorded.trace in
   let checker =
-    Equiv.create ~fuel:cfg.fuel (module S : Store_intf.S)
+    Equiv.create ~fuel:cfg.fuel ~lazy_oracle:cfg.lazy_oracle ~memo:cfg.memo
+      ~checkpoints:recorded.checkpoints (module S : Store_intf.S)
       ~ops:recorded.ops ~committed:recorded.outputs
   in
   let clusters = Cluster.create ~store_name:S.name in
@@ -86,7 +98,10 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   let t_equiv_acc = ref 0. in
   let on_image (image : Crash_gen.image) =
     let t0 = Unix.gettimeofday () in
-    let verdict = Equiv.check checker ~img:image.img ~crash_op:image.crash_op in
+    let verdict =
+      Equiv.check ~digest:image.digest checker ~img:image.img
+        ~crash_op:image.crash_op
+    in
     t_equiv_acc := !t_equiv_acc +. (Unix.gettimeofday () -. t0);
     (match verdict with
      | Equiv.Consistent -> ()
@@ -147,4 +162,8 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
     replay_ops = estats.Equiv.n_replay_ops;
     replay_early_stops = estats.Equiv.n_early_stops;
     bytes_materialized = stats.bytes_materialized;
+    oracle_runs = estats.Equiv.n_oracle_runs;
+    oracle_ops_saved = estats.Equiv.n_oracle_ops_saved;
+    memo_hits = estats.Equiv.n_memo_hits;
+    ckpt_bytes = List.length recorded.checkpoints * recorded.pool_size;
     t_record; t_infer; t_gen; t_equiv }

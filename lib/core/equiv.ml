@@ -17,7 +17,19 @@
    O(suffix), and since buggy images tend to diverge early this is the
    dominant saving of the zero-copy validation path. Consistent images
    still replay in full (one oracle stays live to the end), so the
-   verdict is exactly the one the full-replay comparison would reach. *)
+   verdict is exactly the one the full-replay comparison would reach.
+
+   Three further optimizations, each independently toggleable and each
+   verdict-equivalent to the reference [verdict_of_outputs]:
+
+   - lazy oracles: the rolled-back oracle is only built at the first
+     committed-oracle divergence, so images that track the committed run
+     to the end (the common case) never pay the O(n) oracle run;
+   - checkpointed oracles: with record-time snapshots every K ops, a
+     forced oracle resumes from the checkpoint preceding the crash op
+     instead of re-running from scratch — O(n - k + K) per oracle;
+   - digest memoization: images at the same crash op with equal content
+     digests (stamped by Crash_gen) reuse the first image's verdict. *)
 
 type verdict =
   | Consistent
@@ -36,6 +48,9 @@ type stats = {
   mutable n_checks : int;
   mutable n_replay_ops : int;   (* ops executed across all resumes *)
   mutable n_early_stops : int;  (* replays aborted before the suffix end *)
+  mutable n_oracle_runs : int;  (* rolled-back oracles actually built *)
+  mutable n_oracle_ops_saved : int;  (* ops elided by laziness/checkpoints *)
+  mutable n_memo_hits : int;    (* verdicts served from the digest memo *)
 }
 
 type t = {
@@ -44,18 +59,45 @@ type t = {
   committed : Output.t array;   (* outputs of ops.(i), trace index i+1 *)
   rolled_back : (int, Output.t array) Hashtbl.t;  (* crash op -> oracle *)
   fuel : int;
+  lazy_oracle : bool;           (* defer the oracle to first divergence *)
+  memo_on : bool;               (* digest-keyed verdict memoization *)
+  checkpoints : (int * Nvm.Pmem.t) array;  (* record snapshots, ascending *)
+  memo : (int * int, verdict) Hashtbl.t;  (* (crash op, digest) -> verdict *)
+  elided : (int, unit) Hashtbl.t;  (* crash ops checked oracle-free so far *)
   stats : stats;
 }
 
-let create ?(fuel = 3_000_000) store ~ops ~committed =
+let create ?(fuel = 3_000_000) ?(lazy_oracle = true) ?(memo = true)
+    ?(checkpoints = []) store ~ops ~committed =
+  let checkpoints =
+    let a = Array.of_list checkpoints in
+    Array.sort (fun (i, _) (j, _) -> compare i j) a;
+    a
+  in
   { store; ops; committed; rolled_back = Hashtbl.create 64; fuel;
-    stats = { n_checks = 0; n_replay_ops = 0; n_early_stops = 0 } }
+    lazy_oracle; memo_on = memo; checkpoints;
+    memo = Hashtbl.create 256; elided = Hashtbl.create 64;
+    stats = { n_checks = 0; n_replay_ops = 0; n_early_stops = 0;
+              n_oracle_runs = 0; n_oracle_ops_saved = 0; n_memo_hits = 0 } }
 
 let stats t = t.stats
 
+(* Reference oracle construction: a fresh run with op k removed. *)
+let oracle_full_rerun t k =
+  let n = Array.length t.ops in
+  let ops' = List.filteri (fun i _ -> i <> k - 1) (Array.to_list t.ops) in
+  let outs = Driver.run_quiet t.store ops' in
+  (* outputs for ops k+1..n are at positions k-1 .. n-2 *)
+  Array.sub outs (k - 1) (n - k)
+
 (* Oracle for a crash at trace op index k: outputs of ops after k when
    op k is rolled back. k = 0 (creation) rolls back to the committed
-   behaviour (the pool is simply re-created). *)
+   behaviour (the pool is simply re-created). With checkpoints, the
+   oracle for k >= 1 resumes from the latest snapshot taken at or before
+   op k - 1 and replays only the suffix — the per-oracle cost drops from
+   O(n) to O(n - k + stride). Any checkpoint-resume failure falls back to
+   the full re-run, so checkpointing can never change a verdict's
+   availability, only its cost. *)
 let rolled_back_oracle t k =
   match Hashtbl.find_opt t.rolled_back k with
   | Some o -> o
@@ -64,13 +106,33 @@ let rolled_back_oracle t k =
     let oracle =
       if k = 0 then Array.sub t.committed 0 n
       else begin
+        t.stats.n_oracle_runs <- t.stats.n_oracle_runs + 1;
         Obs.Metrics.incr "equiv.oracle_runs";
-        let ops' =
-          List.filteri (fun i _ -> i <> k - 1) (Array.to_list t.ops)
+        (* A lazily elided oracle being forced after all: give back the
+           provisional saving before accounting the real cost. *)
+        if Hashtbl.mem t.elided k then begin
+          Hashtbl.remove t.elided k;
+          t.stats.n_oracle_ops_saved <-
+            t.stats.n_oracle_ops_saved - (n - 1);
+          Obs.Metrics.incr ~n:(-(n - 1)) "equiv.oracle_ops_saved"
+        end;
+        let ckpt =
+          Array.fold_left
+            (fun acc (j, p) -> if j <= k - 1 then Some (j, p) else acc)
+            None t.checkpoints
         in
-        let outs = Driver.run_quiet t.store ops' in
-        (* outputs for ops k+1..n are at positions k-1 .. n-2 *)
-        Array.sub outs (k - 1) (n - k)
+        match ckpt with
+        | Some (j, pool) ->
+          (try
+             let o =
+               Driver.oracle_from_checkpoint t.store ~checkpoint:pool
+                 ~ops:t.ops ~from_op:j ~skip:k
+             in
+             t.stats.n_oracle_ops_saved <- t.stats.n_oracle_ops_saved + j;
+             Obs.Metrics.incr ~n:j "equiv.oracle_ops_saved";
+             o
+           with _ -> oracle_full_rerun t k)
+        | None -> oracle_full_rerun t k
       end
     in
     Hashtbl.replace t.rolled_back k oracle;
@@ -112,28 +174,55 @@ let verdict_of_outputs ~crash_op ~(got : Output.t array)
         crashed }
   end
 
-let check t ~img ~crash_op =
+let check_replay t ~img ~crash_op =
   let n = Array.length t.ops in
   let k = crash_op in
   let suffix_len = n - k in
-  t.stats.n_checks <- t.stats.n_checks + 1;
-  if suffix_len <= 0 then Consistent  (* crash after the last op *)
-  else begin
-    let committed_suffix i = t.committed.(k + i) in
-    let rb = rolled_back_oracle t k in
-    let c_live = ref true and r_live = ref true in
-    (* earliest index diverging from either oracle, and the output there *)
-    let first_div = ref (-1) in
-    let div_got = ref Output.Ok in
-    let crashed = ref false in
-    let stopped_at = ref (-1) in
-    let on_output i out =
-      (match out with Output.Crashed _ -> crashed := true | _ -> ());
-      let c_ok = !c_live && Output.equal out (committed_suffix i) in
-      let r_ok = !r_live && Output.equal out rb.(i) in
-      if !first_div < 0
-      && (not (Output.equal out (committed_suffix i))
-          || not (Output.equal out rb.(i))) then begin
+  let committed_suffix i = t.committed.(k + i) in
+  (* In lazy mode the rolled-back oracle stays unforced while the replay
+     tracks the committed oracle; the common consistent image never pays
+     the oracle run at all. *)
+  let rb = ref (if t.lazy_oracle then None else Some (rolled_back_oracle t k)) in
+  let got = Array.make suffix_len Output.Ok in  (* streamed prefix buffer *)
+  let c_live = ref true and r_live = ref true in
+  (* earliest index diverging from either oracle, and the output there *)
+  let first_div = ref (-1) in
+  let div_got = ref Output.Ok in
+  let crashed = ref false in
+  let stopped_at = ref (-1) in
+  (* Force the oracle at the first committed divergence (index [upto] + 1)
+     and rescan the buffered prefix against it, reconstructing exactly the
+     r_live / first_div state the eager checker would hold here: while the
+     oracle was deferred every output matched the committed oracle, so the
+     prefix scan is the only comparison that was skipped. *)
+  let force_rb upto =
+    let o = rolled_back_oracle t k in
+    rb := Some o;
+    let i = ref 0 in
+    while !r_live && !i <= upto do
+      if not (Output.equal got.(!i) o.(!i)) then begin
+        r_live := false;
+        if !first_div < 0 then begin
+          first_div := !i;
+          div_got := got.(!i)
+        end
+      end;
+      incr i
+    done;
+    o
+  in
+  let on_output i out =
+    (match out with Output.Crashed _ -> crashed := true | _ -> ());
+    got.(i) <- out;
+    let c_eq = Output.equal out (committed_suffix i) in
+    match !rb with
+    | None when c_eq -> `Continue  (* tracking committed, oracle deferred *)
+    | (None | Some _) as cur ->
+      let o = match cur with Some o -> o | None -> force_rb (i - 1) in
+      let r_eq = Output.equal out o.(i) in
+      let c_ok = !c_live && c_eq in
+      let r_ok = !r_live && r_eq in
+      if !first_div < 0 && (not c_eq || not r_eq) then begin
         first_div := i;
         div_got := out
       end;
@@ -144,30 +233,73 @@ let check t ~img ~crash_op =
         `Stop
       end
       else `Continue
+  in
+  let executed =
+    Driver.resume_stream t.store ~image:img ~ops:t.ops ~from_op:k
+      ~fuel:t.fuel ~on_output
+  in
+  t.stats.n_replay_ops <- t.stats.n_replay_ops + executed;
+  Obs.Metrics.incr "equiv.checks";
+  Obs.Metrics.incr ~n:executed "equiv.replay_ops";
+  Obs.Metrics.observe "equiv.replay_len" executed;
+  if !c_live || !r_live then begin
+    (* Consistent with the oracle never forced: one full oracle run (the
+       eager checker's run_quiet for this crash op) was elided. Counted
+       once per crash op and repaid in [rolled_back_oracle] if a later
+       image at the same op forces it. *)
+    (match !rb with
+     | None
+       when k > 0
+         && not (Hashtbl.mem t.rolled_back k)
+         && not (Hashtbl.mem t.elided k) ->
+       Hashtbl.add t.elided k ();
+       t.stats.n_oracle_ops_saved <- t.stats.n_oracle_ops_saved + (n - 1);
+       Obs.Metrics.incr ~n:(n - 1) "equiv.oracle_ops_saved"
+     | _ -> ());
+    Consistent
+  end
+  else begin
+    if !stopped_at < suffix_len - 1 then begin
+      t.stats.n_early_stops <- t.stats.n_early_stops + 1;
+      Obs.Metrics.incr "equiv.early_stops";
+      (* how deep into the suffix the replay got before both oracles
+         died: the early-abort saving is suffix_len - depth per image *)
+      Obs.Metrics.observe "equiv.early_stop_depth" !stopped_at
+    end;
+    let i = !first_div in
+    let o = match !rb with Some o -> o | None -> assert false in
+    Inconsistent
+      { first_diff = k + i + 1;
+        got = !div_got;
+        expect_committed = committed_suffix i;
+        expect_rolled_back = o.(i);
+        crashed = !crashed }
+  end
+
+(* [digest], when provided (Crash_gen stamps one on every image), keys the
+   verdict memo: two images at the same crash op with equal digests hold
+   byte-identical guaranteed content, so the replay verdict of the first
+   is returned for the second without resuming anything. *)
+let check ?digest t ~img ~crash_op =
+  let n = Array.length t.ops in
+  let suffix_len = n - crash_op in
+  t.stats.n_checks <- t.stats.n_checks + 1;
+  if suffix_len <= 0 then Consistent  (* crash after the last op *)
+  else begin
+    let memo_key =
+      match digest with
+      | Some d when t.memo_on -> Some (crash_op, d)
+      | _ -> None
     in
-    let executed =
-      Driver.resume_stream t.store ~image:img ~ops:t.ops ~from_op:k
-        ~fuel:t.fuel ~on_output
-    in
-    t.stats.n_replay_ops <- t.stats.n_replay_ops + executed;
-    Obs.Metrics.incr "equiv.checks";
-    Obs.Metrics.incr ~n:executed "equiv.replay_ops";
-    Obs.Metrics.observe "equiv.replay_len" executed;
-    if !c_live || !r_live then Consistent
-    else begin
-      if !stopped_at < suffix_len - 1 then begin
-        t.stats.n_early_stops <- t.stats.n_early_stops + 1;
-        Obs.Metrics.incr "equiv.early_stops";
-        (* how deep into the suffix the replay got before both oracles
-           died: the early-abort saving is suffix_len - depth per image *)
-        Obs.Metrics.observe "equiv.early_stop_depth" !stopped_at
-      end;
-      let i = !first_div in
-      Inconsistent
-        { first_diff = k + i + 1;
-          got = !div_got;
-          expect_committed = committed_suffix i;
-          expect_rolled_back = rb.(i);
-          crashed = !crashed }
-    end
+    match Option.bind memo_key (Hashtbl.find_opt t.memo) with
+    | Some v ->
+      t.stats.n_memo_hits <- t.stats.n_memo_hits + 1;
+      Obs.Metrics.incr "equiv.memo_hits";
+      v
+    | None ->
+      let v = check_replay t ~img ~crash_op in
+      (match memo_key with
+       | Some key -> Hashtbl.replace t.memo key v
+       | None -> ());
+      v
   end

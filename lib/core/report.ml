@@ -64,11 +64,14 @@ let result_row (r : Engine.result) =
 let timing_line (r : Engine.result) =
   Printf.sprintf
     "%-18s record %.3fs | infer %.3fs | gen %.3fs | equiv %.3fs | \
-     replay-ops %d (early-stops %d) | materialized %.2f MB over %d images"
+     replay-ops %d (early-stops %d) | materialized %.2f MB over %d images | \
+     oracle-runs %d (ops saved %d) | memo-hits %d | ckpt %.2f MB"
     r.name r.t_record r.t_infer r.t_gen r.t_equiv r.replay_ops
     r.replay_early_stops
     (float_of_int r.bytes_materialized /. 1024. /. 1024.)
     r.images_tested
+    r.oracle_runs r.oracle_ops_saved r.memo_hits
+    (float_of_int r.ckpt_bytes /. 1024. /. 1024.)
 
 (* Table 4-style detailed bug list for one store. *)
 let bug_list (r : Engine.result) =

@@ -45,6 +45,7 @@ type t = {
   mutable n_dirty : int;                 (* stores with no guarantee yet *)
   mutable images_materialized : int;
   mutable bytes_materialized : int;      (* bytes written to build images *)
+  mutable digest : int;                  (* digest of [persisted]'s content *)
 }
 
 let create ~pool_size =
@@ -56,7 +57,8 @@ let create ~pool_size =
     n_guaranteed = 0;
     n_dirty = 0;
     images_materialized = 0;
-    bytes_materialized = 0 }
+    bytes_materialized = 0;
+    digest = 0x1505 }
 
 let line_state t line =
   match Hashtbl.find_opt t.lines line with
@@ -90,6 +92,11 @@ let on_fence t =
          let tid = Vec.get ls.seq i in
          let s = Hashtbl.find t.store_ev tid in
          Pmem.write_bytes t.persisted s.s_addr s.s_data;
+         (* Incremental content digest of [persisted]: same guaranteed
+            store sequence => same digest. Identical content reached by
+            different sequences may digest differently, which only costs
+            a missed memo hit, never a wrong one. *)
+         t.digest <- Pmem.mix_string (Pmem.mix t.digest s.s_addr) s.s_data;
          t.n_guaranteed <- t.n_guaranteed + 1;
          t.n_dirty <- t.n_dirty - 1
        done;
@@ -185,6 +192,14 @@ let materialize_copy t ~extras =
 
 let images_materialized t = t.images_materialized
 let bytes_materialized t = t.bytes_materialized
+
+let digest t = t.digest
+
+(* Digest of a crash image materialized from [persisted]: the base digest
+   plus the image's overlay (the chosen extras), O(extras) work. Images
+   with equal digests hold byte-identical guaranteed content, so a
+   verdict computed for one is valid for the other (same crash op). *)
+let image_digest t img = Pmem.digest ~seed:t.digest img
 
 (* Statistics used by the Yat test-space estimator: number of dirty (not
    yet guaranteed) stores per line, at the current point. *)

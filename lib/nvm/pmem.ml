@@ -212,3 +212,41 @@ let overlay_lines t =
    to [size t] for the flat-copy path. *)
 let cow_bytes t =
   match t.repr with Flat _ -> 0 | Cow c -> c.cow_bytes
+
+(* ---------- content digests ---------- *)
+
+(* FNV-1a-style 64-bit mixing (widths wrap to OCaml's 63-bit int, which
+   is fine: digests are only compared for equality). *)
+let mix h v = (h lxor v) * 0x100000001b3
+
+let mix_string h s =
+  let len = String.length s in
+  let h = ref (mix h len) in
+  let b = Bytes.unsafe_of_string s in
+  let i = ref 0 in
+  while !i + 8 <= len do
+    h := mix !h (Int64.to_int (Bytes.get_int64_le b !i));
+    i := !i + 8
+  done;
+  while !i < len do
+    h := mix !h (Char.code (String.unsafe_get s !i));
+    incr i
+  done;
+  !h
+
+(* 64-bit content digest. For a COW view, pass the digest of the base as
+   [seed] (Crash_sim maintains it incrementally): only the overlay lines
+   are folded in, so digesting a crash image is O(dirty lines), never
+   O(pool_size). Overlay lines are folded in line order, so two views
+   over the same base with the same overlay content get equal digests.
+   For a flat pool the whole buffer is folded — the O(size) reference
+   path, used by tests. *)
+let digest ?(seed = 0x1505) t =
+  match t.repr with
+  | Flat buf -> mix_string seed (Bytes.unsafe_to_string buf)
+  | Cow c ->
+    let lines = Hashtbl.fold (fun line b acc -> (line, b) :: acc) c.overlay [] in
+    let lines = List.sort (fun (a, _) (b, _) -> compare a b) lines in
+    List.fold_left
+      (fun h (line, b) -> mix_string (mix h line) (Bytes.unsafe_to_string b))
+      seed lines

@@ -176,6 +176,51 @@ let test_presplit_journal_compat () =
   Alcotest.(check bool) "old key counts as completed for --resume" true
     (Hashtbl.mem done_ (C.Job.key s))
 
+(* Journals written before the oracle-memoization work carry none of the
+   oracle_runs / oracle_ops_saved / memo_hits / ckpt_bytes counters.
+   They must still parse, aggregate (the counters default to 0), render,
+   and count as completed for --resume. *)
+let test_preoracle_journal_compat () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let s = spec "cceh" in
+  let line =
+    C.Jsonx.to_string
+      (C.Jsonx.Obj
+         [ ("key", C.Jsonx.Str (C.Job.key s));
+           ("job", C.Job.to_json s);
+           ("status", C.Jsonx.Str "ok");
+           ("t_wall", C.Jsonx.Float 3.0);
+           ("result",
+            C.Jsonx.Obj
+              [ ("store", C.Jsonx.Str "cceh");
+                ("c_o", C.Jsonx.Int 1);
+                ("c_a", C.Jsonx.Int 0);
+                ("images_tested", C.Jsonx.Int 250);
+                ("n_mismatch", C.Jsonx.Int 4);
+                ("replay_ops", C.Jsonx.Int 1234);
+                ("bytes_materialized", C.Jsonx.Int 4096);
+                ("t_gen", C.Jsonx.Float 0.5);
+                ("t_equiv", C.Jsonx.Float 1.0) ]) ])
+  in
+  let oc = open_out path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  let records = C.Journal.load path in
+  Alcotest.(check int) "pre-oracle line parses" 1 (List.length records);
+  let agg = C.Aggregate.of_records records in
+  Alcotest.(check int) "old counters aggregate" 1234 agg.total.replay_ops;
+  Alcotest.(check int) "oracle_runs defaults to 0" 0 agg.total.oracle_runs;
+  Alcotest.(check int) "oracle_ops_saved defaults to 0" 0
+    agg.total.oracle_ops_saved;
+  Alcotest.(check int) "memo_hits defaults to 0" 0 agg.total.memo_hits;
+  Alcotest.(check int) "ckpt_bytes defaults to 0" 0 agg.total.ckpt_bytes;
+  Alcotest.(check bool) "report renders" true
+    (String.length (C.Aggregate.to_text agg) > 0);
+  let done_ = C.Journal.completed_keys records in
+  Alcotest.(check bool) "old key counts as completed for --resume" true
+    (Hashtbl.mem done_ (C.Job.key s))
+
 (* ---------- fault isolation (fake stores, custom run_job) ---------- *)
 
 let status_of records store =
@@ -357,6 +402,8 @@ let suite =
       test_journal_skips_garbage;
     Alcotest.test_case "pre-split journal still aggregates" `Quick
       test_presplit_journal_compat;
+    Alcotest.test_case "pre-oracle journal still aggregates" `Quick
+      test_preoracle_journal_compat;
     Alcotest.test_case "failing job isolated from siblings" `Quick
       test_failing_job_isolated;
     Alcotest.test_case "livelocked job killed at deadline" `Quick

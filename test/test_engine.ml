@@ -261,6 +261,75 @@ let test_streaming_matches_reference () =
   Alcotest.(check bool) "covered consistent and inconsistent images" true
     (!n > 50 && !n_bad > 0 && !n_bad < !n)
 
+(* qcheck: the optimized checker (lazy rolled-back oracles +
+   checkpointed oracle construction + digest-keyed verdict memo) reaches
+   exactly the verdict the reference [Equiv.verdict_of_outputs] computes
+   on fully materialized outputs — and so does a checker with every
+   optimization disabled — for random workloads on every registry
+   store. *)
+let prop_optimized_checker_parity =
+  QCheck2.Test.make
+    ~name:"optimized checker = reference, all stores (seeds)" ~count:3
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       List.for_all
+         (fun (e : R.entry) ->
+            let module S = (val e.buggy ()) in
+            let wl =
+              W.Workload.no_scan { W.Workload.default with n_ops = 30; seed }
+            in
+            let rec_ =
+              W.Driver.record ~ckpt_stride:8 (module S)
+                (W.Workload.generate wl)
+            in
+            let conds = W.Infer.infer rec_.trace in
+            let fuel = W.Engine.default_cfg.fuel in
+            let opt =
+              W.Equiv.create ~fuel ~checkpoints:rec_.checkpoints (module S)
+                ~ops:rec_.ops ~committed:rec_.outputs
+            in
+            let plain =
+              W.Equiv.create ~fuel ~lazy_oracle:false ~memo:false (module S)
+                ~ops:rec_.ops ~committed:rec_.outputs
+            in
+            let ok = ref true in
+            ignore
+              (W.Crash_gen.generate
+                 ~cfg:{ W.Crash_gen.default_cfg with max_images = 100 }
+                 ~trace:rec_.trace ~conds ~pool_size:rec_.pool_size
+                 ~on_image:(fun (img : W.Crash_gen.image) ->
+                     let k = img.crash_op in
+                     let got =
+                       W.Driver.resume (module S)
+                         ~image:(Nvm.Pmem.copy img.img) ~ops:rec_.ops
+                         ~from_op:k ~fuel
+                     in
+                     let img_copy = Nvm.Pmem.copy img.img in
+                  let rb = W.Equiv.rolled_back_oracle plain k in
+                     let reference =
+                       W.Equiv.verdict_of_outputs ~crash_op:k ~got
+                         ~committed:(fun i -> rec_.outputs.(k + i))
+                         ~rolled_back:(fun i -> rb.(i))
+                     in
+                     let v_opt =
+                       W.Equiv.check ~digest:img.digest opt ~img:img.img
+                         ~crash_op:k
+                     in
+                     let v_plain =
+                       W.Equiv.check plain ~img:img_copy ~crash_op:k
+                     in
+                     let key = function
+                       | W.Equiv.Consistent -> -1
+                       | W.Equiv.Inconsistent d -> d.first_diff
+                     in
+                     if key reference <> key v_opt
+                        || key reference <> key v_plain
+                     then ok := false;
+                     if !ok then `Continue else `Stop)
+                 ());
+            !ok)
+         R.all)
+
 (* Recovery idempotence: opening a crash image twice must not change the
    observable state a third open sees. *)
 let test_recovery_idempotent () =
@@ -403,4 +472,5 @@ let suite =
       Alcotest.test_case "cceh fixed dense workload" `Slow
         test_cceh_recovery_via_pipeline;
       QCheck_alcotest.to_alcotest prop_fixed_durable;
-      QCheck_alcotest.to_alcotest prop_buggy_found ]
+      QCheck_alcotest.to_alcotest prop_buggy_found;
+      QCheck_alcotest.to_alcotest prop_optimized_checker_parity ]

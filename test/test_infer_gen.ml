@@ -122,6 +122,37 @@ let test_images_contain_guaranteed () =
   Alcotest.(check bool) "images generated" true (!n > 0);
   Alcotest.(check bool) "guaranteed stores present" true !ok
 
+(* Candidate accounting: [stats.candidates] counts every feasible
+   violation before image dedup, in both the [emit] and the baseline
+   paths; [generated] counts the distinct images. Two PO1 conditions
+   watching the same store produce the same extra persist-set, so the
+   second is deduplicated: 2 emit candidates + 1 baseline candidate, but
+   only 1 + 1 distinct images. *)
+let test_candidate_accounting () =
+  let ctx = Ctx.create ~mode:Record (Pmem.create 4096) in
+  Ctx.op_begin ctx ~index:0 ~desc:"t";
+  Ctx.write_u64 ctx ~sid:"w.x1" 128 (Tv.const 7);
+  Ctx.write_u64 ctx ~sid:"w.x2" 192 (Tv.const 9);
+  let a = Ctx.read_u64 ctx ~sid:"r.x1" 128 in
+  let b = Ctx.read_u64 ctx ~sid:"r.x2" 192 in
+  Ctx.write_u64 ctx ~sid:"w.y" 256 (Tv.add a b);
+  Ctx.persist ctx ~sid:"w.y_persist" 256 8;
+  Ctx.op_end ctx ~index:0;
+  let trace = Ctx.trace ctx in
+  let conds = W.Infer.infer trace in
+  (* both conditions watch the y cell *)
+  Alcotest.(check int) "two PO1 conditions on y" 2
+    (List.length (W.Infer.conds_for conds 256 8));
+  let stats =
+    W.Crash_gen.generate ~trace ~conds ~pool_size:4096
+      ~on_image:(fun _ -> `Continue) ()
+  in
+  Alcotest.(check int) "candidates counted pre-dedup" 3 stats.candidates;
+  Alcotest.(check int) "distinct images post-dedup" 2 stats.generated;
+  Alcotest.(check int) "all distinct images tested" 2 stats.tested;
+  Alcotest.(check bool) "candidates >= generated" true
+    (stats.candidates >= stats.generated)
+
 (* Yat estimator sanity. *)
 let test_yat_log10_fact () =
   let f = W.Yat.log10_fact in
@@ -158,6 +189,8 @@ let suite =
       test_no_violation_when_ordered;
     Alcotest.test_case "images contain guaranteed stores" `Quick
       test_images_contain_guaranteed;
+    Alcotest.test_case "candidate accounting is pre-dedup" `Quick
+      test_candidate_accounting;
     Alcotest.test_case "yat log10 factorial" `Quick test_yat_log10_fact;
     Alcotest.test_case "yat exhaustive > witcher images" `Quick
       test_yat_exhaustive_beats_witcher_count ]
