@@ -43,13 +43,17 @@ let () =
          (match image.viol with
           | W.Crash_gen.Ordering o ->
             Printf.printf "  viol: %s watch=%s(t%d) req=%s(t%d)\n"
-              (W.Infer.rule_name o.rule) o.watch_sid o.watch_tid o.req_sid o.req_tid
+              (W.Infer.rule_name o.rule)
+              (Nvm.Sid.to_string o.watch_sid) o.watch_tid
+              (Nvm.Sid.to_string o.req_sid) o.req_tid
           | W.Crash_gen.Atomicity a ->
             Printf.printf "  viol: PA1 persisted=%s(t%d) lost=%s(t%d)\n"
-              a.persisted_sid a.persisted_tid a.lost_sid a.lost_tid
+              (Nvm.Sid.to_string a.persisted_sid) a.persisted_tid
+              (Nvm.Sid.to_string a.lost_sid) a.lost_tid
           | W.Crash_gen.Unpersisted_epoch u ->
             Printf.printf "  viol: EPOCH fence=%s first_lost=%s\n"
-              u.fence_sid u.first_lost_sid);
+              (Nvm.Sid.to_string u.fence_sid)
+              (Nvm.Sid.to_string u.first_lost_sid));
          Printf.printf "  first_diff=op%d got=%s committed=%s\n" v.first_diff
            (W.Output.to_string v.got) (W.Output.to_string v.expect_committed);
          (* re-resume to print full suffix *)

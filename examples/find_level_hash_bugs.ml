@@ -41,12 +41,14 @@ let () =
        (match image.viol with
         | W.Crash_gen.Ordering o ->
           Printf.printf "  violated: %s — %s persisted while %s was not\n"
-            (W.Infer.rule_name o.rule) o.watch_sid o.req_sid
+            (W.Infer.rule_name o.rule)
+            (Sid.to_string o.watch_sid) (Sid.to_string o.req_sid)
         | W.Crash_gen.Atomicity a ->
           Printf.printf "  violated: AP — %s persisted without %s\n"
-            a.persisted_sid a.lost_sid
+            (Sid.to_string a.persisted_sid) (Sid.to_string a.lost_sid)
         | W.Crash_gen.Unpersisted_epoch u ->
-          Printf.printf "  violated: epoch lost at %s\n" u.fence_sid);
+          Printf.printf "  violated: epoch lost at %s\n"
+            (Sid.to_string u.fence_sid));
        Printf.printf
          "  resumed query(k) returned %s; oracles allow only the committed \
           (v1) or rolled-back (notfound) outputs\n"

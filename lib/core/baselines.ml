@@ -53,7 +53,7 @@ let agamotto (trace : Trace.t) =
            (Infer.words s.s_addr s.s_len)
        | _ -> ())
     trace;
-  let missing : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let missing : (Sid.t, int) Hashtbl.t = Hashtbl.create 16 in
   Trace.iter
     (fun ev ->
        match ev with
@@ -69,7 +69,7 @@ let agamotto (trace : Trace.t) =
        | _ -> ())
     trace;
   (* Transaction checker: stores inside an open tx to unlogged ranges. *)
-  let missing_log : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let missing_log : (Sid.t, int) Hashtbl.t = Hashtbl.create 16 in
   let open_tx = ref None in
   let logged : (int * int) list ref = ref [] in
   Trace.iter
@@ -91,7 +91,10 @@ let agamotto (trace : Trace.t) =
              (1 + Option.value ~default:0 (Hashtbl.find_opt missing_log s.s_sid))
        | _ -> ())
     trace;
-  let to_list h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare in
+  let to_list h =
+    Hashtbl.fold (fun k v acc -> (Sid.to_string k, v) :: acc) h []
+    |> List.sort compare
+  in
   { missing_persist_sites = to_list missing;
     missing_log_sites = to_list missing_log;
     redundant_flush_sites = Perf.bug_sites perf.p_efl;
@@ -113,8 +116,8 @@ type pmtest_violation = {
 }
 
 let pmtest (trace : Trace.t) ~pool_size ~(annotations : annotation list) =
-  let sim = Crash_sim.create ~pool_size in
-  let last_by_sid : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let sim = Crash_sim.create ~trace ~pool_size in
+  let last_by_sid : (Sid.t, int) Hashtbl.t = Hashtbl.create 64 in
   let hits : (annotation, int * int) Hashtbl.t = Hashtbl.create 16 in
   let in_tx = ref false in
   let record ann tid =
@@ -131,14 +134,14 @@ let pmtest (trace : Trace.t) ~pool_size ~(annotations : annotation list) =
             (fun ann ->
                match ann with
                | Ordered { before; after } ->
-                 if String.equal after s.s_sid then (
-                   match Hashtbl.find_opt last_by_sid before with
+                 if Sid.intern after = s.s_sid then (
+                   match Hashtbl.find_opt last_by_sid (Sid.intern before) with
                    | Some before_tid
                      when not (Crash_sim.is_guaranteed sim before_tid) ->
                      record ann s.s_tid
                    | _ -> ())
                | In_tx { sid } ->
-                 if String.equal sid s.s_sid && not !in_tx then
+                 if Sid.intern sid = s.s_sid && not !in_tx then
                    record ann s.s_tid)
             annotations;
           Hashtbl.replace last_by_sid s.s_sid s.s_tid

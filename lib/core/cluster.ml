@@ -24,7 +24,8 @@ type report = {
 
 type t = {
   store_name : string;
-  clusters : (string * int * string * string, report) Hashtbl.t;
+  (* key: op kind, path hash, watch sid, req sid — sids as interned ints *)
+  clusters : (string * int * Nvm.Sid.t * Nvm.Sid.t, report) Hashtbl.t;
 }
 
 let create ~store_name = { store_name; clusters = Hashtbl.create 64 }
@@ -52,7 +53,9 @@ let add t ~(image : Crash_gen.image) ~op_desc ~(verdict : Equiv.verdict) =
     | None ->
       Hashtbl.add t.clusters key
         { store_name = t.store_name; kind; op_desc = op_kind;
-          path_hash = image.path_hash; watch_sid; req_sid; rule;
+          path_hash = image.path_hash;
+          watch_sid = Nvm.Sid.to_string watch_sid;
+          req_sid = Nvm.Sid.to_string req_sid; rule;
           count = 1;
           example_crash_tid = image.crash_tid;
           example_first_diff = v.first_diff;

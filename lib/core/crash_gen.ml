@@ -18,21 +18,27 @@
 
    Images are deduplicated by (crash point, extra persist-set) and capped
    per static site pair, since thousands of dynamic violations share a
-   root cause (§4.4); generated-vs-tested counts are both reported. *)
+   root cause (§4.4); generated-vs-tested counts are both reported.
+
+   The walk is index-based (kind tags + int fields, no event
+   reconstruction), the per-word latest-store map is a flat array indexed
+   by 8-byte word (pool sizes are a few MB), and sids are interned ints
+   throughout — [violation] carries [Sid.t]; report layers convert back
+   to strings. *)
 
 open Nvm
 
 type violation =
   | Ordering of {
       rule : Infer.rule;
-      watch_sid : string;   (* the store that persisted too early *)
-      req_sid : string;     (* the store left unpersisted *)
+      watch_sid : Sid.t;    (* the store that persisted too early *)
+      req_sid : Sid.t;      (* the store left unpersisted *)
       watch_tid : int;
       req_tid : int;
     }
   | Atomicity of {
-      persisted_sid : string;
-      lost_sid : string;
+      persisted_sid : Sid.t;
+      lost_sid : Sid.t;
       persisted_tid : int;
       lost_tid : int;
     }
@@ -40,8 +46,8 @@ type violation =
       (* nothing of the current epoch was evicted: every dirty store is
          lost at once — the state that exposes missing-persist and
          premature-side-effect (e.g. free-before-unlink) bugs *)
-      fence_sid : string;
-      first_lost_sid : string;
+      fence_sid : Sid.t;
+      first_lost_sid : Sid.t;
     }
 
 let violation_sids = function
@@ -78,18 +84,33 @@ type epoch_cand =
   | C_po of Infer.po * int            (* condition, sy tid *)
   | C_guardian of Infer.cell * int    (* guardian cell, store tid *)
 
-let path_hash_step h sid = (h * 131) + Hashtbl.hash sid land 0xffffff
+let path_hash_step h sid = (h * 131) + (sid land 0xffffff)
 
 let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image () =
-  let sim = Crash_sim.create ~pool_size in
+  let sim = Crash_sim.create ~trace ~pool_size in
   let stats =
     { candidates = 0; generated = 0; tested = 0; bytes_materialized = 0;
       per_op_images = Hashtbl.create 64 }
   in
-  let last_store_word : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  (* 8-byte word -> tid of latest store touching it, -1 = none. Grown on
+     demand: pools are up to 16MB but stores touch a small dense prefix,
+     and eagerly clearing a pool-sized array would dominate small runs. *)
+  let last_store_word = ref (Array.make 4096 (-1)) in
+  let last_store_cap = (pool_size + 7) lsr 3 in
+  let ensure_word w =
+    if w >= Array.length !last_store_word then begin
+      let n = min last_store_cap (max (2 * Array.length !last_store_word) (w + 1)) in
+      let b = Array.make n (-1) in
+      Array.blit !last_store_word 0 b 0 (Array.length !last_store_word);
+      last_store_word := b
+    end
+  in
   let epoch : epoch_cand list ref = ref [] in
-  let epoch_seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let site_count : (string * string * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* Keyed on the condition itself (structural equality), so two distinct
+     conditions can never alias an entry the way the old
+     [Hashtbl.hash (watch, req, rule)] key could on a hash collision. *)
+  let epoch_seen : (Infer.po, unit) Hashtbl.t = Hashtbl.create 64 in
+  let site_count : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
   let img_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let path_hash = ref 0 in
   let stop = ref false in
@@ -97,27 +118,24 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
     Hashtbl.replace stats.per_op_images op
       (1 + Option.value ~default:0 (Hashtbl.find_opt stats.per_op_images op))
   in
-  (* Latest store whose range overlaps the cell, if any. *)
+  (* Latest store whose range overlaps the cell, if any: O(words of cell)
+     array reads, overlap checked against the store's trace fields. *)
   let latest_store_to (cell : Infer.cell) =
-    List.fold_left
-      (fun acc w ->
-         match Hashtbl.find_opt last_store_word w with
-         | Some tid ->
-           (match Crash_sim.store_event sim tid with
-            | Some s when Infer.overlap s.s_addr s.s_len cell.c_addr cell.c_len ->
-              (match acc with
-               | Some best when best >= tid -> acc
-               | _ -> Some tid)
-            | _ -> acc)
-         | None -> acc)
-      None
-      (Infer.words cell.c_addr cell.c_len)
+    let best = ref (-1) in
+    let arr = !last_store_word in
+    let n = Array.length arr in
+    Infer.iter_words cell.c_addr cell.c_len
+      (fun w ->
+         if w < n then begin
+           let tid = arr.(w) in
+           if tid > !best
+           && Infer.overlap (Trace.addr_at trace tid) (Trace.len_at trace tid)
+                cell.c_addr cell.c_len
+           then best := tid
+         end);
+    if !best < 0 then None else Some !best
   in
-  let sid_of_store tid =
-    match Crash_sim.store_event sim tid with
-    | Some s -> s.s_sid
-    | None -> "?"
-  in
+  let sid_of_store tid = Trace.sid_at trace tid in
   let site_ok key =
     let n = Option.value ~default:0 (Hashtbl.find_opt site_count key) in
     if n >= cfg.per_site_cap then false
@@ -178,7 +196,9 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
          Hashtbl.add img_seen img_key ();
          stats.generated <- stats.generated + 1;
          bump_op_count op;
-         let site_key = (fence_sid, "baseline", 2) in
+         (* kind 2 partitions baseline sites from ordering (0) and
+            atomicity (1); -1 stands in for the old "baseline" label *)
+         let site_key = (fence_sid, -1, 2) in
          if stats.tested < cfg.max_images && site_ok site_key then begin
            stats.tested <- stats.tested + 1;
            let img = Crash_sim.materialize sim ~extras:[] in
@@ -253,35 +273,32 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
     epoch := [];
     Hashtbl.reset epoch_seen
   in
-  Trace.iter
-    (fun ev ->
-       if not !stop then begin
-         (match ev with
-          | Trace.Op_begin _ -> path_hash := 0
-          | Trace.Load l -> path_hash := path_hash_step !path_hash l.l_sid
-          | Trace.Store s -> path_hash := path_hash_step !path_hash s.s_sid
-          | _ -> ());
-         (match ev with
-          | Trace.Store s ->
-            List.iter
-              (fun w -> Hashtbl.replace last_store_word w s.s_tid)
-              (Infer.words s.s_addr s.s_len);
-            (* Register condition candidates watching this store. *)
-            List.iter
-              (fun (po : Infer.po) ->
-                 let key = Hashtbl.hash (po.watch, po.req, po.rule) in
-                 if not (Hashtbl.mem epoch_seen key) then begin
-                   Hashtbl.add epoch_seen key ();
-                   epoch := C_po (po, s.s_tid) :: !epoch
-                 end)
-              (Infer.conds_for conds s.s_addr s.s_len);
-            List.iter
-              (fun g -> epoch := C_guardian (g, s.s_tid) :: !epoch)
-              (Infer.guardians_for conds s.s_addr s.s_len)
-          | Trace.Fence f -> process_fence f.n_tid f.n_sid f.n_op
-          | _ -> ());
-         Crash_sim.on_event sim ev
-       end)
-    trace;
+  let n = Trace.length trace in
+  let i = ref 0 in
+  while not !stop && !i < n do
+    let tid = !i in
+    let k = Trace.kind_at trace tid in
+    if k = Trace.k_op_begin then path_hash := 0
+    else if k = Trace.k_load || k = Trace.k_store then
+      path_hash := path_hash_step !path_hash (Trace.sid_at trace tid);
+    if k = Trace.k_store then begin
+      let addr = Trace.addr_at trace tid and len = Trace.len_at trace tid in
+      ensure_word ((addr + len - 1) lsr 3);
+      Infer.iter_words addr len (fun w -> !last_store_word.(w) <- tid);
+      (* Register condition candidates watching this store. *)
+      Infer.iter_conds_for conds addr len
+        (fun po ->
+           if not (Hashtbl.mem epoch_seen po) then begin
+             Hashtbl.add epoch_seen po ();
+             epoch := C_po (po, tid) :: !epoch
+           end);
+      Infer.iter_guardians_for conds addr len
+        (fun g -> epoch := C_guardian (g, tid) :: !epoch)
+    end
+    else if k = Trace.k_fence then
+      process_fence tid (Trace.sid_at trace tid) (Trace.op_at trace tid);
+    Crash_sim.on_index sim tid;
+    incr i
+  done;
   stats.bytes_materialized <- Crash_sim.bytes_materialized sim;
   stats

@@ -24,11 +24,11 @@ type recorded = {
      checkpointed pool is immutable and reusable across oracle runs *)
 }
 
-let record ?(ckpt_stride = 0) (module S : Store_intf.S) ops =
+let record ?(ckpt_stride = 0) ?(boxed = false) (module S : Store_intf.S) ops =
   let ops = Array.of_list ops in
   let n = Array.length ops in
   let pmem = Pmem.create S.pool_size in
-  let ctx = Ctx.create ~mode:Record pmem in
+  let ctx = Ctx.create ~boxed ~mode:Record pmem in
   Ctx.op_begin ctx ~index:0 ~desc:"create";
   let store = S.create ctx in
   Ctx.op_end ctx ~index:0;

@@ -134,8 +134,8 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
      are dropped from P-U. *)
   List.iter
     (fun (r : Cluster.report) ->
-       Hashtbl.remove perf.Perf.p_u.sites r.watch_sid;
-       Hashtbl.remove perf.Perf.p_u.sites r.req_sid)
+       Hashtbl.remove perf.Perf.p_u.sites (Nvm.Sid.intern r.watch_sid);
+       Hashtbl.remove perf.Perf.p_u.sites (Nvm.Sid.intern r.req_sid))
     site_pairs;
   let count kind =
     List.length (List.filter (fun (r : Cluster.report) -> r.kind = kind) bug_reports)

@@ -17,7 +17,15 @@
    req = X; for PO3 the guardian is the watched side (watch = X, req = Y).
 
    Conditions are keyed by dynamic NVM address ranges (cells), like the
-   paper, so counts in Table 5 grow with the trace. *)
+   paper, so counts in Table 5 grow with the trace.
+
+   Cost model: the inference walk reads events by index (kind tag + int
+   fields + taint arrays) instead of reconstructing them, and the two
+   word indexes are plain arrays indexed by 8-byte word number (pool
+   sizes are a few MB, so at most pool_size/8 slots) rather than
+   hash tables of list refs. [iter_words]/[iter_conds_for]/
+   [iter_guardians_for] are the allocation-free forms of the (kept)
+   list-returning API. *)
 
 type rule = PO1 | PO2 | PO3
 
@@ -26,7 +34,7 @@ let rule_name = function PO1 -> "PO1" | PO2 -> "PO2" | PO3 -> "PO3"
 type cell = {
   c_addr : int;
   c_len : int;
-  c_sid : string;
+  c_sid : Nvm.Sid.t;
 }
 
 type po = {
@@ -36,8 +44,8 @@ type po = {
 }
 
 type t = {
-  po_index : (int, po list ref) Hashtbl.t;  (* 8-byte word of watch -> conds *)
-  guardian_index : (int, cell list ref) Hashtbl.t;  (* word -> guardian cells *)
+  mutable po_index : po list array;        (* 8-byte word of watch -> conds *)
+  mutable guardian_index : cell list array; (* word -> guardian cells *)
   mutable n_guardians : int;
   mutable n_po1 : int;
   mutable n_po2 : int;
@@ -54,102 +62,210 @@ let words addr len =
   let first = addr lsr 3 and last = (addr + len - 1) lsr 3 in
   List.init (last - first + 1) (fun i -> first + i)
 
-let cell_of_load (l : Nvm.Trace.load_ev) =
-  { c_addr = l.l_addr; c_len = l.l_len; c_sid = l.l_sid }
+(* Allocation-free [words]: call [f] on each 8-byte word the range
+   [addr, addr+len) touches, ascending. *)
+let iter_words addr len f =
+  for w = addr lsr 3 to (addr + len - 1) lsr 3 do
+    f w
+  done
 
-let add_po t seen ~watch ~req rule =
-  if not (overlap watch.c_addr watch.c_len req.c_addr req.c_len) then begin
-    let key = (watch.c_addr, watch.c_len, req.c_addr, req.c_len, rule) in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
+let grow (type a) (arr : a list array) (needed : int) : a list array =
+  let n = max (2 * Array.length arr) (needed + 1) in
+  let b = Array.make n [] in
+  Array.blit arr 0 b 0 (Array.length arr);
+  b
+
+(* Insert-only open-addressing set of int pairs, the dedup structure of
+   the inference walk. Nearly every [add_po] call is a duplicate (one
+   load feeds many stores of the same cells), so the per-call cost is
+   what the walk's time is made of: a probe here is two array reads —
+   no tuple allocation, no polymorphic [Hashtbl.hash] over five boxed
+   fields. Keys must be >= 0 (cells pack as [addr * 2^24 + len], both
+   bounded by the pool size); empty slots hold [min_int]. *)
+module Pair_set = struct
+  type t = {
+    mutable k1 : int array;
+    mutable k2 : int array;
+    mutable count : int;
+    mutable mask : int;     (* capacity - 1, capacity a power of two *)
+  }
+
+  let create cap =
+    let cap =
+      let c = ref 16 in
+      while !c < cap do c := !c * 2 done;
+      !c
+    in
+    { k1 = Array.make cap min_int; k2 = Array.make cap min_int;
+      count = 0; mask = cap - 1 }
+
+  let slot s a b =
+    let h = (a * 0x9E3779B97F4A7C1) lxor (b * 0xC2B2AE3D27D4EB) in
+    (h lxor (h lsr 29)) land s.mask
+
+  let rec add_new s a b =
+    let i = ref (slot s a b) in
+    let k1 = s.k1 and k2 = s.k2 in
+    let res = ref (-1) in
+    while !res < 0 do
+      let x = Array.unsafe_get k1 !i in
+      if x = min_int then res := 1
+      else if x = a && Array.unsafe_get k2 !i = b then res := 0
+      else i := (!i + 1) land s.mask
+    done;
+    !res = 1
+    && begin
+      k1.(!i) <- a;
+      k2.(!i) <- b;
+      s.count <- s.count + 1;
+      if 2 * s.count > s.mask then begin
+        (* grow to keep the load factor under 1/2 *)
+        let ok1 = s.k1 and ok2 = s.k2 in
+        let cap = 2 * (s.mask + 1) in
+        s.k1 <- Array.make cap min_int;
+        s.k2 <- Array.make cap min_int;
+        s.mask <- cap - 1;
+        s.count <- 0;
+        for j = 0 to Array.length ok1 - 1 do
+          if ok1.(j) <> min_int then ignore (add_new s ok1.(j) ok2.(j))
+        done
+      end;
+      true
+    end
+end
+
+(* [addr * 2^24 + len] is injective while both fit 24 bits — pools are a
+   few MB. Ranges beyond that (would need a >16MB pool) fall back to a
+   key the packing cannot alias. *)
+let pack_ok addr len = addr < 0x1000000 && len < 0x1000000
+let pack addr len = (addr lsl 24) lor len
+
+type seen = {
+  pairs : Pair_set.t;
+  (* exact fallback for cells the packing can't represent *)
+  wide : (int * int * int * int * int, unit) Hashtbl.t;
+}
+
+let seen_add seen ~wa ~wl ~ra ~rl rid =
+  if pack_ok wa wl && pack_ok ra rl then
+    Pair_set.add_new seen.pairs (pack wa wl) ((pack ra rl * 4) + rid)
+  else begin
+    let key = (wa, wl, ra, rl, rid) in
+    (not (Hashtbl.mem seen.wide key))
+    && (Hashtbl.add seen.wide key (); true)
+  end
+
+let add_po t seen ~wa ~wl ~wsid ~ra ~rl ~rsid rule =
+  if not (overlap wa wl ra rl) then begin
+    let rid = match rule with PO1 -> 0 | PO2 -> 1 | PO3 -> 2 in
+    if seen_add seen ~wa ~wl ~ra ~rl rid then begin
       (match rule with
        | PO1 -> t.n_po1 <- t.n_po1 + 1
        | PO2 -> t.n_po2 <- t.n_po2 + 1
        | PO3 -> t.n_po3 <- t.n_po3 + 1);
-      let cond = { watch; req; rule } in
-      List.iter
+      let cond =
+        { watch = { c_addr = wa; c_len = wl; c_sid = wsid };
+          req = { c_addr = ra; c_len = rl; c_sid = rsid };
+          rule }
+      in
+      iter_words wa wl
         (fun w ->
-           match Hashtbl.find_opt t.po_index w with
-           | Some l -> l := cond :: !l
-           | None -> Hashtbl.add t.po_index w (ref [ cond ]))
-        (words watch.c_addr watch.c_len)
+           if w >= Array.length t.po_index then
+             t.po_index <- grow t.po_index w;
+           t.po_index.(w) <- cond :: t.po_index.(w))
     end
   end
 
-let add_guardian t seen_g cell =
-  let key = (cell.c_addr, cell.c_len) in
-  if not (Hashtbl.mem seen_g key) then begin
-    Hashtbl.add seen_g key ();
+let add_guardian t seen_g ~addr ~len ~sid =
+  if Pair_set.add_new seen_g addr len then begin
     t.n_guardians <- t.n_guardians + 1;
-    List.iter
+    let cell = { c_addr = addr; c_len = len; c_sid = sid } in
+    iter_words addr len
       (fun w ->
-         match Hashtbl.find_opt t.guardian_index w with
-         | Some l -> l := cell :: !l
-         | None -> Hashtbl.add t.guardian_index w (ref [ cell ]))
-      (words cell.c_addr cell.c_len)
+         if w >= Array.length t.guardian_index then
+           t.guardian_index <- grow t.guardian_index w;
+         t.guardian_index.(w) <- cell :: t.guardian_index.(w))
   end
 
 let infer (trace : Nvm.Trace.t) =
   let t =
-    { po_index = Hashtbl.create 4096;
-      guardian_index = Hashtbl.create 256;
+    { po_index = Array.make 4096 [];
+      guardian_index = Array.make 4096 [];
       n_guardians = 0; n_po1 = 0; n_po2 = 0; n_po3 = 0 }
   in
-  let seen = Hashtbl.create 8192 in
-  let seen_g = Hashtbl.create 256 in
-  let load_of tid =
-    match Nvm.Trace.get trace tid with
-    | Nvm.Trace.Load l -> Some l
-    | _ -> None
-  in
-  Nvm.Trace.iter
-    (fun ev ->
-       match ev with
-       | Nvm.Trace.Store s ->
-         let y = { c_addr = s.s_addr; c_len = s.s_len; c_sid = s.s_sid } in
-         Nvm.Taint.fold
-           (fun tid () ->
-              match load_of tid with
-              | Some l -> add_po t seen ~watch:y ~req:(cell_of_load l) PO1
-              | None -> ())
-           s.s_dd ();
-         Nvm.Taint.fold
-           (fun tid () ->
-              match load_of tid with
-              | Some l -> add_po t seen ~watch:y ~req:(cell_of_load l) PO2
-              | None -> ())
-           s.s_cd ()
-       | Nvm.Trace.Load l when not (Nvm.Taint.is_empty l.l_cd) ->
-         let y = cell_of_load l in
-         Nvm.Taint.fold
-           (fun tid () ->
-              match load_of tid with
-              | Some g ->
-                let x = cell_of_load g in
-                if not (overlap x.c_addr x.c_len y.c_addr y.c_len) then begin
-                  add_po t seen ~watch:x ~req:y PO3;
-                  add_guardian t seen_g x
-                end
-              | None -> ())
-           l.l_cd ()
-       | _ -> ())
-    trace;
+  let seen = { pairs = Pair_set.create 8192; wide = Hashtbl.create 16 } in
+  let seen_g = Pair_set.create 256 in
+  let k_load = Nvm.Trace.k_load in
+  let k_store = Nvm.Trace.k_store in
+  let n = Nvm.Trace.length trace in
+  for i = 0 to n - 1 do
+    let k = Nvm.Trace.kind_at trace i in
+    if k = k_store then begin
+      let wa = Nvm.Trace.addr_at trace i
+      and wl = Nvm.Trace.len_at trace i
+      and wsid = Nvm.Trace.sid_at trace i in
+      let member rule tid =
+        if Nvm.Trace.kind_at trace tid = k_load then
+          add_po t seen ~wa ~wl ~wsid
+            ~ra:(Nvm.Trace.addr_at trace tid)
+            ~rl:(Nvm.Trace.len_at trace tid)
+            ~rsid:(Nvm.Trace.sid_at trace tid) rule
+      in
+      Nvm.Taint.iter (member PO1) (Nvm.Trace.dd_at trace i);
+      Nvm.Taint.iter (member PO2) (Nvm.Trace.cd_at trace i)
+    end
+    else if k = k_load then begin
+      let cd = Nvm.Trace.cd_at trace i in
+      if not (Nvm.Taint.is_empty cd) then begin
+        let ra = Nvm.Trace.addr_at trace i
+        and rl = Nvm.Trace.len_at trace i
+        and rsid = Nvm.Trace.sid_at trace i in
+        Nvm.Taint.iter
+          (fun tid ->
+             if Nvm.Trace.kind_at trace tid = k_load then begin
+               let xa = Nvm.Trace.addr_at trace tid
+               and xl = Nvm.Trace.len_at trace tid in
+               if not (overlap xa xl ra rl) then begin
+                 let xsid = Nvm.Trace.sid_at trace tid in
+                 add_po t seen ~wa:xa ~wl:xl ~wsid:xsid ~ra ~rl ~rsid PO3;
+                 add_guardian t seen_g ~addr:xa ~len:xl ~sid:xsid
+               end
+             end)
+          cd
+      end
+    end
+  done;
   t
 
-(* Conditions whose watch cell overlaps a store to [addr,len). *)
-let conds_for t addr len =
-  List.concat_map
+(* Conditions whose watch cell overlaps a store to [addr,len), visited in
+   the same order [conds_for] lists them (ascending words; within a word,
+   newest condition first; a condition spanning several of the range's
+   words is visited once per word, as before). *)
+let iter_conds_for t addr len f =
+  let n = Array.length t.po_index in
+  iter_words addr len
     (fun w ->
-       match Hashtbl.find_opt t.po_index w with
-       | Some l -> List.filter (fun c -> overlap c.watch.c_addr c.watch.c_len addr len) !l
-       | None -> [])
-    (words addr len)
+       if w < n then
+         List.iter
+           (fun c -> if overlap c.watch.c_addr c.watch.c_len addr len then f c)
+           t.po_index.(w))
+
+let conds_for t addr len =
+  let acc = ref [] in
+  iter_conds_for t addr len (fun c -> acc := c :: !acc);
+  List.rev !acc
 
 (* Guardian cells overlapping a store to [addr,len). *)
-let guardians_for t addr len =
-  List.concat_map
+let iter_guardians_for t addr len f =
+  let n = Array.length t.guardian_index in
+  iter_words addr len
     (fun w ->
-       match Hashtbl.find_opt t.guardian_index w with
-       | Some l -> List.filter (fun c -> overlap c.c_addr c.c_len addr len) !l
-       | None -> [])
-    (words addr len)
+       if w < n then
+         List.iter
+           (fun c -> if overlap c.c_addr c.c_len addr len then f c)
+           t.guardian_index.(w))
+
+let guardians_for t addr len =
+  let acc = ref [] in
+  iter_guardians_for t addr len (fun c -> acc := c :: !acc);
+  List.rev !acc

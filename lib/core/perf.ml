@@ -12,10 +12,12 @@
            logged in the same transaction.
 
    Like the paper we report *bugs* as distinct static sites; raw dynamic
-   occurrence counts are kept for the reports. *)
+   occurrence counts are kept for the reports. Sites are keyed by
+   interned sid; [bug_sites] converts back to strings for the report
+   layers. *)
 
 type counts = {
-  sites : (string, int) Hashtbl.t;  (* sid -> occurrences *)
+  sites : (Nvm.Sid.t, int) Hashtbl.t;  (* sid -> occurrences *)
 }
 
 type t = {
@@ -33,11 +35,11 @@ let hit c sid =
 let n_bugs c = Hashtbl.length c.sites
 let n_occurrences c = Hashtbl.fold (fun _ n acc -> acc + n) c.sites 0
 let bug_sites c =
-  Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) c.sites []
+  Hashtbl.fold (fun sid n acc -> (Nvm.Sid.to_string sid, n) :: acc) c.sites []
   |> List.sort compare
 
 type line_track = {
-  mutable unflushed : (int * string) list;  (* store tid, sid: dirty, no flush yet *)
+  mutable unflushed : (int * Nvm.Sid.t) list;  (* store tid, sid: dirty, no flush yet *)
 }
 
 let detect (trace : Nvm.Trace.t) =
@@ -46,7 +48,6 @@ let detect (trace : Nvm.Trace.t) =
   let flush_since_fence = ref 0 in
   (* Per transaction: logged intervals (addr, len). *)
   let tx_logs : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
-  let line_of addr = Nvm.Pmem.line_of_addr addr in
   let track line =
     match Hashtbl.find_opt lines line with
     | Some l -> l
@@ -55,41 +56,47 @@ let detect (trace : Nvm.Trace.t) =
       Hashtbl.add lines line l;
       l
   in
-  Nvm.Trace.iter
-    (fun ev ->
-       match ev with
-       | Nvm.Trace.Store s ->
-         let l = track (line_of s.s_addr) in
-         l.unflushed <- (s.s_tid, s.s_sid) :: l.unflushed
-       | Nvm.Trace.Flush f ->
-         incr flush_since_fence;
-         let l = track f.f_line in
-         if l.unflushed = [] then hit t.p_efl f.f_sid
-         else l.unflushed <- []
-       | Nvm.Trace.Fence f ->
-         if !flush_since_fence = 0 then hit t.p_efe f.n_sid;
-         flush_since_fence := 0
-       | Nvm.Trace.Log_range g ->
-         let logs =
-           match Hashtbl.find_opt tx_logs g.g_tx with
-           | Some l -> l
-           | None ->
-             let l = ref [] in
-             Hashtbl.add tx_logs g.g_tx l;
-             l
-         in
-         let covered =
-           (* fully contained in the union of previously logged ranges;
-              we check containment in a single range, which matches the
-              redundant-logging pattern in practice *)
-           List.exists
-             (fun (a, len) -> g.g_addr >= a && g.g_addr + g.g_len <= a + len)
-             !logs
-         in
-         if covered then hit t.p_el g.g_sid
-         else logs := (g.g_addr, g.g_len) :: !logs
-       | _ -> ())
-    trace;
+  let n = Nvm.Trace.length trace in
+  for i = 0 to n - 1 do
+    let k = Nvm.Trace.kind_at trace i in
+    if k = Nvm.Trace.k_store then begin
+      let l = track (Nvm.Pmem.line_of_addr (Nvm.Trace.addr_at trace i)) in
+      l.unflushed <- (i, Nvm.Trace.sid_at trace i) :: l.unflushed
+    end
+    else if k = Nvm.Trace.k_flush then begin
+      incr flush_since_fence;
+      let l = track (Nvm.Trace.addr_at trace i) in
+      if l.unflushed = [] then hit t.p_efl (Nvm.Trace.sid_at trace i)
+      else l.unflushed <- []
+    end
+    else if k = Nvm.Trace.k_fence then begin
+      if !flush_since_fence = 0 then hit t.p_efe (Nvm.Trace.sid_at trace i);
+      flush_since_fence := 0
+    end
+    else if k = Nvm.Trace.k_log_range then begin
+      let tx = Nvm.Trace.tx_at trace i in
+      let logs =
+        match Hashtbl.find_opt tx_logs tx with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.add tx_logs tx l;
+          l
+      in
+      let g_addr = Nvm.Trace.addr_at trace i in
+      let g_len = Nvm.Trace.len_at trace i in
+      let covered =
+        (* fully contained in the union of previously logged ranges;
+           we check containment in a single range, which matches the
+           redundant-logging pattern in practice *)
+        List.exists
+          (fun (a, len) -> g_addr >= a && g_addr + g_len <= a + len)
+          !logs
+      in
+      if covered then hit t.p_el (Nvm.Trace.sid_at trace i)
+      else logs := (g_addr, g_len) :: !logs
+    end
+  done;
   (* Anything still unflushed at the end never gets persisted: P-U. *)
   Hashtbl.iter
     (fun _ l ->

@@ -16,7 +16,7 @@ type result = {
 let run ?(seed = 7) ?(samples_per_fence = 2) ~trace ~pool_size
     ~(check : img:Pmem.t -> crash_op:int -> Equiv.verdict) () =
   let rng = Random.State.make [| seed |] in
-  let sim = Crash_sim.create ~pool_size in
+  let sim = Crash_sim.create ~trace ~pool_size in
   let sampled = ref 0 in
   let mismatches = ref 0 in
   let sites = Hashtbl.create 16 in

@@ -46,7 +46,7 @@ type series = {
 (* Build Figure 4's two curves from a trace and the per-op image counts
    produced by Crash_gen. *)
 let estimate ~trace ~pool_size ~(per_op_images : (int, int) Hashtbl.t) ~n_ops =
-  let sim = Crash_sim.create ~pool_size in
+  let sim = Crash_sim.create ~trace ~pool_size in
   let yat = Array.make (n_ops + 1) neg_infinity in
   let total = ref neg_infinity in
   (* Yat permutes the uncommitted stores of each reordering window (the
@@ -90,7 +90,7 @@ type image = {
 (* Enumerate all feasible crash images; only sensible for tiny traces. *)
 let exhaustive ?(per_fence_limit = 512) ?(max_images = 100_000) ~trace ~pool_size
     ~on_image () =
-  let sim = Crash_sim.create ~pool_size in
+  let sim = Crash_sim.create ~trace ~pool_size in
   let count = ref 0 in
   let stop = ref false in
   Trace.iter

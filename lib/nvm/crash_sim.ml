@@ -14,6 +14,14 @@
    persist-set must be per-line prefix-closed and must contain every
    guaranteed store.
 
+   The simulator is backed by the trace it walks: store positions live in
+   two tid-indexed int arrays and store payloads are read straight out of
+   the trace's arena ([Trace.store_write]/[store_mix]), so feeding a store
+   is two array writes and persisting one is an arena blit — no per-store
+   hash table entries or event reconstruction on the hot path. Feed events
+   with [on_index] (by trace index, allocation-free) or the [on_event]
+   compatibility wrapper.
+
    The module incrementally maintains [persisted], the pool image holding
    exactly the guaranteed stores; [materialize] returns an O(1)
    copy-on-write view of it with the chosen feasible set of extra
@@ -33,25 +41,26 @@ type line_state = {
   mutable guaranteed_upto : int;   (* seq prefix that is durable *)
 }
 
-type pos = { p_line : int; p_idx : int }
-
 type t = {
+  trace : Trace.t;
   lines : (int, line_state) Hashtbl.t;
-  store_pos : (int, pos) Hashtbl.t;      (* store tid -> line/seq position *)
-  store_ev : (int, Trace.store_ev) Hashtbl.t;
-  mutable touched : int list;            (* lines flushed since last fence *)
+  mutable pos_line : int array;    (* store tid -> cache line, -1 = not fed *)
+  mutable pos_idx : int array;     (* store tid -> index in line's seq *)
+  mutable touched : int list;      (* lines flushed since last fence *)
   persisted : Pmem.t;
   mutable n_guaranteed : int;
-  mutable n_dirty : int;                 (* stores with no guarantee yet *)
+  mutable n_dirty : int;           (* stores with no guarantee yet *)
   mutable images_materialized : int;
-  mutable bytes_materialized : int;      (* bytes written to build images *)
-  mutable digest : int;                  (* digest of [persisted]'s content *)
+  mutable bytes_materialized : int; (* bytes written to build images *)
+  mutable digest : int;            (* digest of [persisted]'s content *)
 }
 
-let create ~pool_size =
-  { lines = Hashtbl.create 1024;
-    store_pos = Hashtbl.create 4096;
-    store_ev = Hashtbl.create 4096;
+let create ~trace ~pool_size =
+  let n = max 16 (Trace.length trace) in
+  { trace;
+    lines = Hashtbl.create 1024;
+    pos_line = Array.make n (-1);
+    pos_idx = Array.make n (-1);
     touched = [];
     persisted = Pmem.create pool_size;
     n_guaranteed = 0;
@@ -59,6 +68,19 @@ let create ~pool_size =
     images_materialized = 0;
     bytes_materialized = 0;
     digest = 0x1505 }
+
+let ensure t tid =
+  let cap = Array.length t.pos_idx in
+  if tid >= cap then begin
+    let n = max (2 * cap) (tid + 1) in
+    let grow a =
+      let b = Array.make n (-1) in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.pos_line <- grow t.pos_line;
+    t.pos_idx <- grow t.pos_idx
+  end
 
 let line_state t line =
   match Hashtbl.find_opt t.lines line with
@@ -68,12 +90,13 @@ let line_state t line =
     Hashtbl.add t.lines line ls;
     ls
 
-let on_store t (s : Trace.store_ev) =
-  let line = Pmem.line_of_addr s.s_addr in
+let on_store_tid t tid =
+  let line = Pmem.line_of_addr (Trace.addr_at t.trace tid) in
   let ls = line_state t line in
-  Hashtbl.replace t.store_pos s.s_tid { p_line = line; p_idx = Vec.length ls.seq };
-  Hashtbl.replace t.store_ev s.s_tid s;
-  Vec.push ls.seq s.s_tid;
+  ensure t tid;
+  t.pos_line.(tid) <- line;
+  t.pos_idx.(tid) <- Vec.length ls.seq;
+  Vec.push ls.seq tid;
   t.n_dirty <- t.n_dirty + 1
 
 let on_flush t line =
@@ -90,13 +113,12 @@ let on_fence t =
        let ls = line_state t line in
        for i = ls.guaranteed_upto to ls.pending_upto - 1 do
          let tid = Vec.get ls.seq i in
-         let s = Hashtbl.find t.store_ev tid in
-         Pmem.write_bytes t.persisted s.s_addr s.s_data;
+         Trace.store_write t.trace tid t.persisted;
          (* Incremental content digest of [persisted]: same guaranteed
             store sequence => same digest. Identical content reached by
             different sequences may digest differently, which only costs
             a missed memo hit, never a wrong one. *)
-         t.digest <- Pmem.mix_string (Pmem.mix t.digest s.s_addr) s.s_data;
+         t.digest <- Trace.store_mix t.trace t.digest tid;
          t.n_guaranteed <- t.n_guaranteed + 1;
          t.n_dirty <- t.n_dirty - 1
        done;
@@ -105,22 +127,35 @@ let on_fence t =
     t.touched;
   t.touched <- []
 
-(* Feed any trace event; non-persistence events are ignored. *)
+(* Feed the event at trace index [i]; non-persistence events are ignored.
+   The fast path: dispatches on the kind tag without building an event. *)
+let on_index t i =
+  let k = Trace.kind_at t.trace i in
+  if k = Trace.k_store then on_store_tid t i
+  else if k = Trace.k_flush then on_flush t (Trace.addr_at t.trace i)
+  else if k = Trace.k_fence then on_fence t
+
+(* Feed any trace event (compatibility wrapper; events must come from the
+   trace this simulator was created over). *)
 let on_event t = function
-  | Trace.Store s -> on_store t s
+  | Trace.Store s -> on_store_tid t s.s_tid
   | Trace.Flush f -> on_flush t f.f_line
   | Trace.Fence _ -> on_fence t
   | Trace.Load _ | Trace.Log_range _ | Trace.Tx_begin _ | Trace.Tx_commit _
   | Trace.Tx_abort _ | Trace.Op_begin _ | Trace.Op_end _ -> ()
 
-let is_guaranteed t tid =
-  match Hashtbl.find_opt t.store_pos tid with
-  | None -> false
-  | Some p ->
-    let ls = Hashtbl.find t.lines p.p_line in
-    p.p_idx < ls.guaranteed_upto
+let fed t tid = tid >= 0 && tid < Array.length t.pos_idx && t.pos_idx.(tid) >= 0
 
-let store_event t tid = Hashtbl.find_opt t.store_ev tid
+let is_guaranteed t tid =
+  fed t tid
+  && (let ls = Hashtbl.find t.lines t.pos_line.(tid) in
+      t.pos_idx.(tid) < ls.guaranteed_upto)
+
+let store_event t tid =
+  if not (fed t tid) then None
+  else match Trace.get t.trace tid with
+    | Trace.Store s -> Some s
+    | _ -> None
 
 let n_guaranteed t = t.n_guaranteed
 let n_dirty t = t.n_dirty
@@ -129,32 +164,44 @@ let n_dirty t = t.n_dirty
    the minimal extra persist-set making [tid] durable (x86-TSO per-line
    order). Returns tids in program order. *)
 let closure_one t tid =
-  match Hashtbl.find_opt t.store_pos tid with
-  | None -> []
-  | Some p ->
-    let ls = Hashtbl.find t.lines p.p_line in
+  if not (fed t tid) then []
+  else begin
+    let ls = Hashtbl.find t.lines t.pos_line.(tid) in
+    let p_idx = t.pos_idx.(tid) in
     let rec collect i acc =
-      if i > p.p_idx then List.rev acc
+      if i > p_idx then List.rev acc
       else collect (i + 1) (Vec.get ls.seq i :: acc)
     in
     collect ls.guaranteed_upto []
+  end
 
 (* Minimal feasible extra persist-set making every tid in [persist]
    durable while leaving every tid in [avoid] non-durable. [None] if a
    requirement conflicts: an [avoid] store is already guaranteed or is
-   forced in by per-line prefix closure. *)
+   forced in by per-line prefix closure.
+
+   The all-singletons case — exactly what [Crash_gen.emit] issues for
+   every candidate — avoids the sorted-merge machinery entirely:
+   [closure_one] already returns a sorted distinct list (per-line seq
+   positions ascend with tid), so the closure IS the answer and the
+   avoid check is one membership scan. *)
 let feasible_extras t ~persist ~avoid =
   if List.exists (is_guaranteed t) avoid then None
-  else begin
-    let module IS = Set.Make (Int) in
-    let extras =
-      List.fold_left
-        (fun acc tid -> IS.union acc (IS.of_list (closure_one t tid)))
-        IS.empty persist
-    in
-    if List.exists (fun a -> IS.mem a extras) avoid then None
-    else Some (IS.elements extras)
-  end
+  else
+    match persist with
+    | [ p ] ->
+      let extras = closure_one t p in
+      if List.exists (fun a -> List.memq a extras) avoid then None
+      else Some extras
+    | _ ->
+      let module IS = Set.Make (Int) in
+      let extras =
+        List.fold_left
+          (fun acc tid -> IS.union acc (IS.of_list (closure_one t tid)))
+          IS.empty persist
+      in
+      if List.exists (fun a -> IS.mem a extras) avoid then None
+      else Some (IS.elements extras)
 
 (* Concrete crash image: guaranteed stores plus [extras] (program order).
    Returns a COW view over [persisted]; see the lifetime note above. *)
@@ -162,12 +209,12 @@ let materialize t ~extras =
   let img = Pmem.cow t.persisted in
   List.iter
     (fun tid ->
-       match Hashtbl.find_opt t.store_ev tid with
-       | Some s ->
-         Pmem.write_bytes img s.s_addr s.s_data;
-         t.bytes_materialized <- t.bytes_materialized + s.s_len;
-         Obs.Metrics.incr ~n:s.s_len "crash_sim.bytes_materialized"
-       | None -> ())
+       if fed t tid then begin
+         Trace.store_write t.trace tid img;
+         let len = Trace.len_at t.trace tid in
+         t.bytes_materialized <- t.bytes_materialized + len;
+         Obs.Metrics.incr ~n:len "crash_sim.bytes_materialized"
+       end)
     (List.sort compare extras);
   t.images_materialized <- t.images_materialized + 1;
   Obs.Metrics.incr "crash_sim.images_materialized";
@@ -183,10 +230,7 @@ let materialize t ~extras =
 let materialize_copy t ~extras =
   let img = Pmem.copy t.persisted in
   List.iter
-    (fun tid ->
-       match Hashtbl.find_opt t.store_ev tid with
-       | Some s -> Pmem.write_bytes img s.s_addr s.s_data
-       | None -> ())
+    (fun tid -> if fed t tid then Trace.store_write t.trace tid img)
     (List.sort compare extras);
   img
 

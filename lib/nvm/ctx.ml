@@ -8,6 +8,11 @@
    lives on exactly one line; the crash simulator and image builder rely
    on this to keep per-line persist-order reasoning exact.
 
+   Store code passes sids as strings; [Ctx] interns them on entry (see
+   Sid: a one-entry physical-equality memo makes the per-access cost of
+   re-interning a loop's literal effectively zero) and the trace records
+   only the int.
+
    [fuel] bounds the number of accesses: resuming from a corrupted crash
    image can loop forever (e.g. a B+tree whose root points to a sibling);
    running dry raises [Fuel_exhausted], which the driver reports as a
@@ -29,9 +34,9 @@ type t = {
   mutable tx_counter : int;
 }
 
-let create ?(fuel = 100_000_000) ~mode pmem =
-  { pmem; mode; trace = Trace.create (); cd_stack = []; op_cd = Taint.empty;
-    cd = Taint.empty; op = -1; fuel; tx_counter = 0 }
+let create ?(boxed = false) ?(fuel = 100_000_000) ~mode pmem =
+  { pmem; mode; trace = Trace.create ~boxed (); cd_stack = [];
+    op_cd = Taint.empty; cd = Taint.empty; op = -1; fuel; tx_counter = 0 }
 
 let pmem t = t.pmem
 let trace t = t.trace
@@ -50,10 +55,10 @@ let read_u64 t ~sid addr =
   burn t;
   let v = Pmem.read_u64 t.pmem addr in
   if recording t then begin
-    let tid = Trace.next_tid t.trace in
-    Trace.push t.trace
-      (Load { l_tid = tid; l_sid = sid; l_addr = addr; l_len = 8;
-              l_cd = t.cd; l_op = t.op });
+    let tid =
+      Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:8 ~cd:t.cd
+        ~op:t.op
+    in
     Tv.make ~taint:(Taint.singleton tid) v
   end
   else Tv.const v
@@ -62,10 +67,10 @@ let read_u8 t ~sid addr =
   burn t;
   let v = Pmem.read_u8 t.pmem addr in
   if recording t then begin
-    let tid = Trace.next_tid t.trace in
-    Trace.push t.trace
-      (Load { l_tid = tid; l_sid = sid; l_addr = addr; l_len = 1;
-              l_cd = t.cd; l_op = t.op });
+    let tid =
+      Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:1 ~cd:t.cd
+        ~op:t.op
+    in
     Tv.make ~taint:(Taint.singleton tid) v
   end
   else Tv.const v
@@ -74,10 +79,10 @@ let read_bytes t ~sid addr len =
   burn t;
   let s = Pmem.read_bytes t.pmem addr len in
   if recording t then begin
-    let tid = Trace.next_tid t.trace in
-    Trace.push t.trace
-      (Load { l_tid = tid; l_sid = sid; l_addr = addr; l_len = len;
-              l_cd = t.cd; l_op = t.op });
+    let tid =
+      Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len ~cd:t.cd
+        ~op:t.op
+    in
     Tv.blob ~taint:(Taint.singleton tid) s
   end
   else Tv.blob s
@@ -86,15 +91,14 @@ let read_bytes t ~sid addr len =
 
 let emit_store t ~sid addr data dd =
   let len = String.length data in
+  let sid = Sid.intern sid in
   let rec go addr off =
     if off < len then begin
       let line_end = (Pmem.line_of_addr addr + 1) * Pmem.line_size in
       let chunk = min (len - off) (line_end - addr) in
-      let tid = Trace.next_tid t.trace in
-      Trace.push t.trace
-        (Store { s_tid = tid; s_sid = sid; s_addr = addr; s_len = chunk;
-                 s_data = String.sub data off chunk;
-                 s_dd = dd; s_cd = t.cd; s_op = t.op });
+      ignore
+        (Trace.add_store_sub t.trace ~sid ~addr ~src:data ~src_off:off
+           ~len:chunk ~dd ~cd:t.cd ~op:t.op);
       go (addr + chunk) (off + chunk)
     end
   in
@@ -104,9 +108,16 @@ let write_u64 t ~sid addr tv =
   burn t;
   Pmem.write_u64 t.pmem addr (Tv.value tv);
   if recording t then begin
-    let b = Bytes.create 8 in
-    Bytes.set_int64_le b 0 (Int64.of_int (Tv.value tv));
-    emit_store t ~sid addr (Bytes.to_string b) (Tv.taint tv)
+    if addr land (Pmem.line_size - 1) <= Pmem.line_size - 8 then
+      (* fits one line: skip the split loop and the intermediate string *)
+      ignore
+        (Trace.add_store_u64 t.trace ~sid:(Sid.intern sid) ~addr
+           ~v:(Tv.value tv) ~dd:(Tv.taint tv) ~cd:t.cd ~op:t.op)
+    else begin
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.of_int (Tv.value tv));
+      emit_store t ~sid addr (Bytes.to_string b) (Tv.taint tv)
+    end
   end
 
 let write_u8 t ~sid addr tv =
@@ -127,12 +138,10 @@ let write_bytes t ~sid addr blob =
 
 let flush t ~sid addr =
   burn t;
-  if recording t then begin
-    let tid = Trace.next_tid t.trace in
-    Trace.push t.trace
-      (Flush { f_tid = tid; f_sid = sid; f_line = Pmem.line_of_addr addr;
-               f_op = t.op })
-  end
+  if recording t then
+    ignore
+      (Trace.add_flush t.trace ~sid:(Sid.intern sid)
+         ~line:(Pmem.line_of_addr addr) ~op:t.op)
 
 let flush_range t ~sid addr len =
   if len > 0 then begin
@@ -145,10 +154,8 @@ let flush_range t ~sid addr len =
 
 let fence t ~sid =
   burn t;
-  if recording t then begin
-    let tid = Trace.next_tid t.trace in
-    Trace.push t.trace (Fence { n_tid = tid; n_sid = sid; n_op = t.op })
-  end
+  if recording t then
+    ignore (Trace.add_fence t.trace ~sid:(Sid.intern sid) ~op:t.op)
 
 (* flush_range + fence: PMDK's pmem_persist *)
 let persist t ~sid addr len =
@@ -165,8 +172,8 @@ let log_range t ~sid ~tx addr len =
   if recording t then begin
     let tid = Trace.next_tid t.trace in
     Trace.push t.trace
-      (Log_range { g_tid = tid; g_sid = sid; g_addr = addr; g_len = len;
-                   g_tx = tx; g_op = t.op })
+      (Log_range { g_tid = tid; g_sid = Sid.intern sid; g_addr = addr;
+                   g_len = len; g_tx = tx; g_op = t.op })
   end
 
 let tx_begin t ~tx =
@@ -208,10 +215,10 @@ let read_ptr t ~sid addr =
   burn t;
   let v = Pmem.read_u64 t.pmem addr in
   if recording t then begin
-    let tid = Trace.next_tid t.trace in
-    Trace.push t.trace
-      (Load { l_tid = tid; l_sid = sid; l_addr = addr; l_len = 8;
-              l_cd = t.cd; l_op = t.op });
+    let tid =
+      Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:8 ~cd:t.cd
+        ~op:t.op
+    in
     let taint = Taint.singleton tid in
     t.op_cd <- Taint.union t.op_cd taint;
     t.cd <- Taint.union t.cd taint;

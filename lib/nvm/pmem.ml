@@ -167,6 +167,16 @@ let write_bytes t addr s =
   | Flat buf -> Bytes.blit_string s 0 buf addr len
   | Cow c -> cow_write c t.size addr s 0 len
 
+(* Write [s[off .. off+len)] at [addr] without building a substring; the
+   Trace arena uses this to replay store payloads zero-copy. *)
+let write_sub t addr s off len =
+  check t addr len;
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Pmem.write_sub";
+  match t.repr with
+  | Flat buf -> Bytes.blit_string s off buf addr len
+  | Cow c -> cow_write c t.size addr s off len
+
 (* ---------- whole-pool operations ---------- *)
 
 let flatten t =
@@ -230,6 +240,22 @@ let mix_string h s =
   done;
   while !i < len do
     h := mix !h (Char.code (String.unsafe_get s !i));
+    incr i
+  done;
+  !h
+
+(* [mix_sub h s off len] = [mix_string h (String.sub s off len)] without
+   materializing the substring. *)
+let mix_sub h s off len =
+  let h = ref (mix h len) in
+  let b = Bytes.unsafe_of_string s in
+  let i = ref 0 in
+  while !i + 8 <= len do
+    h := mix !h (Int64.to_int (Bytes.get_int64_le b (off + !i)));
+    i := !i + 8
+  done;
+  while !i < len do
+    h := mix !h (Char.code (String.unsafe_get s (off + !i)));
     incr i
   done;
   !h

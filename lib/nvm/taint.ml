@@ -3,23 +3,98 @@
    and through control-dependency scopes in Ctx; a Store event records the
    taint of the stored value (data dependency) and of the enclosing branch
    guards (control dependency). These edges are exactly the Persistence
-   Program Dependence Graph of Witcher §4.2.2. *)
+   Program Dependence Graph of Witcher §4.2.2.
 
-module S = Set.Make (Int)
+   Representation: a sorted array of distinct tids. Nearly every taint in
+   a real trace carries 0-2 elements (a load feeding a store, a guard
+   pair), so flat arrays beat the balanced tree Set.Make builds: no
+   per-node allocation, unions are a single merge pass, and membership is
+   a binary search. The empty set is one shared value, and unions return
+   an argument physically whenever the result equals it, so the common
+   guard-stack pattern (re-unioning an unchanged scope) allocates
+   nothing. *)
 
-type t = S.t
+type t = int array
 
-let empty = S.empty
-let is_empty = S.is_empty
-let singleton = S.singleton
-let union = S.union
-let add = S.add
-let mem = S.mem
-let elements = S.elements
-let cardinal = S.cardinal
-let fold = S.fold
-let of_list = S.of_list
-let equal = S.equal
+let empty : t = [||]
+
+let is_empty t = Array.length t = 0
+
+let singleton x : t = [| x |]
+
+let cardinal = Array.length
+
+let mem x (t : t) =
+  let lo = ref 0 and hi = ref (Array.length t) in
+  let found = ref false in
+  while not !found && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = Array.unsafe_get t mid in
+    if v = x then found := true
+    else if v < x then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+(* Merge two sorted distinct arrays. Fast paths: empty sides, and the
+   frequent subset cases, which return an argument physically. *)
+let union (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else if a == b then a
+  else begin
+    let out = Array.make (la + lb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let x = Array.unsafe_get a !i and y = Array.unsafe_get b !j in
+      if x < y then (Array.unsafe_set out !k x; incr i)
+      else if y < x then (Array.unsafe_set out !k y; incr j)
+      else (Array.unsafe_set out !k x; incr i; incr j);
+      incr k
+    done;
+    while !i < la do
+      Array.unsafe_set out !k (Array.unsafe_get a !i); incr i; incr k
+    done;
+    while !j < lb do
+      Array.unsafe_set out !k (Array.unsafe_get b !j); incr j; incr k
+    done;
+    if !k = la then a           (* b ⊆ a: reuse a *)
+    else if !k = lb then b      (* a ⊆ b: reuse b *)
+    else if !k = la + lb then out
+    else Array.sub out 0 !k
+  end
+
+let add x t = union (singleton x) t
+
+let elements (t : t) = Array.to_list t
+
+let fold f (t : t) init =
+  let acc = ref init in
+  for i = 0 to Array.length t - 1 do
+    acc := f (Array.unsafe_get t i) !acc
+  done;
+  !acc
+
+let iter f (t : t) =
+  for i = 0 to Array.length t - 1 do
+    f (Array.unsafe_get t i)
+  done
+
+let of_list l : t =
+  match l with
+  | [] -> empty
+  | [ x ] -> singleton x
+  | l -> Array.of_list (List.sort_uniq Stdlib.compare l)
+
+let equal (a : t) (b : t) =
+  a == b
+  || (Array.length a = Array.length b
+      && (let ok = ref true in
+          for i = 0 to Array.length a - 1 do
+            if Array.unsafe_get a i <> Array.unsafe_get b i then ok := false
+          done;
+          !ok))
 
 let union_list = List.fold_left union empty
 

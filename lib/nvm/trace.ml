@@ -3,12 +3,30 @@
    detection) consumes the trace post hoc, mirroring §4.1 of the paper.
 
    A [sid] is the static-instruction-id analogue: a stable source-site
-   label such as "level_hash:insert.token". Events carry the dynamic trace
-   id (tid), which is the event's index in the trace. *)
+   label such as "level_hash:insert.token", interned to an int (Sid.t).
+   Events carry the dynamic trace id (tid), which is the event's index in
+   the trace.
+
+   Two representations live behind one API:
+
+   - SoA (the default): hot event fields in unboxed int arrays (kind tag,
+     sid, address, length, op index) with store payloads appended to one
+     shared [Bytes] arena and taints in two parallel arrays. Recording an
+     event is a handful of array writes; reading hot fields ([kind_at],
+     [addr_at], ...) never allocates. The pipeline's fast paths consume
+     these directly.
+
+   - Boxed: the pre-fast-path layout, one allocated [event] per entry in
+     a Vec. Kept as the reference cost model for `bench/main.exe
+     frontend` and the parity properties; select it with
+     [create ~boxed:true] (or [Ctx.create ~boxed:true]).
+
+   [get]/[iter] reconstruct [event] values on demand for either
+   representation, so existing consumers are unaffected. *)
 
 type store_ev = {
   s_tid : int;
-  s_sid : string;
+  s_sid : Sid.t;
   s_addr : int;
   s_len : int;
   s_data : string;
@@ -19,7 +37,7 @@ type store_ev = {
 
 type load_ev = {
   l_tid : int;
-  l_sid : string;
+  l_sid : Sid.t;
   l_addr : int;
   l_len : int;
   l_cd : Taint.t;
@@ -29,44 +47,419 @@ type load_ev = {
 type event =
   | Load of load_ev
   | Store of store_ev
-  | Flush of { f_tid : int; f_sid : string; f_line : int; f_op : int }
-  | Fence of { n_tid : int; n_sid : string; n_op : int }
-  | Log_range of { g_tid : int; g_sid : string; g_addr : int; g_len : int; g_tx : int; g_op : int }
+  | Flush of { f_tid : int; f_sid : Sid.t; f_line : int; f_op : int }
+  | Fence of { n_tid : int; n_sid : Sid.t; n_op : int }
+  | Log_range of { g_tid : int; g_sid : Sid.t; g_addr : int; g_len : int; g_tx : int; g_op : int }
   | Tx_begin of { t_tid : int; t_tx : int; t_op : int }
   | Tx_commit of { t_tid : int; t_tx : int; t_op : int }
   | Tx_abort of { t_tid : int; t_tx : int; t_op : int }
   | Op_begin of { o_tid : int; o_index : int; o_desc : string }
   | Op_end of { o_tid : int; o_index : int }
 
+(* Event kind tags, the SoA discriminant. Exposed for the index-based
+   fast paths (Infer/Crash_gen/Perf walk kinds without reconstructing
+   events). *)
+let k_load = 0
+let k_store = 1
+let k_flush = 2
+let k_fence = 3
+let k_log_range = 4
+let k_tx_begin = 5
+let k_tx_commit = 6
+let k_tx_abort = 7
+let k_op_begin = 8
+let k_op_end = 9
+
+(* Struct-of-arrays event storage. Field use per kind:
+     load:      sid addr      len          op
+     store:     sid addr      len          op  aux=arena offset  dd cd
+     flush:     sid a=line                 op
+     fence:     sid                        op
+     log_range: sid addr      len          op  aux=tx
+     tx_*:                                 op  aux=tx
+     op_begin:      a=desc idx             op=index
+     op_end:                               op=index *)
+type soa = {
+  mutable kind : Bytes.t;
+  mutable f_sid : int array;
+  mutable f_a : int array;       (* addr / line / desc index *)
+  mutable f_b : int array;       (* length *)
+  mutable f_op : int array;
+  mutable f_aux : int array;     (* arena offset / tx id *)
+  mutable f_dd : Taint.t array;
+  mutable f_cd : Taint.t array;
+  mutable arena : Bytes.t;       (* store payloads, concatenated *)
+  mutable arena_len : int;
+  descs : string Vec.t;          (* op_begin descriptions *)
+}
+
+type repr =
+  | Boxed of event Vec.t
+  | Soa of soa
+
 type t = {
-  events : event Vec.t;
+  repr : repr;
+  mutable len : int;
   mutable n_loads : int;
   mutable n_stores : int;
   mutable n_flushes : int;
   mutable n_fences : int;
 }
 
-let dummy_event = Fence { n_tid = -1; n_sid = ""; n_op = -1 }
+let dummy_event = Fence { n_tid = -1; n_sid = 0; n_op = -1 }
 
-let create () =
-  { events = Vec.create ~dummy:dummy_event;
-    n_loads = 0; n_stores = 0; n_flushes = 0; n_fences = 0 }
+let soa_create () =
+  { kind = Bytes.create 4096;
+    f_sid = Array.make 4096 0;
+    f_a = Array.make 4096 0;
+    f_b = Array.make 4096 0;
+    f_op = Array.make 4096 0;
+    f_aux = Array.make 4096 0;
+    f_dd = Array.make 4096 Taint.empty;
+    f_cd = Array.make 4096 Taint.empty;
+    arena = Bytes.create 8192;
+    arena_len = 0;
+    descs = Vec.create ~dummy:"" }
 
-let length t = Vec.length t.events
-let get t i = Vec.get t.events i
-let iter f t = Vec.iter f t.events
-let iteri f t = Vec.iteri f t.events
+let create ?(boxed = false) () =
+  { repr = (if boxed then Boxed (Vec.create ~dummy:dummy_event) else Soa (soa_create ()));
+    len = 0; n_loads = 0; n_stores = 0; n_flushes = 0; n_fences = 0 }
 
-let next_tid t = Vec.length t.events
+let length t = t.len
+let next_tid t = t.len
+
+let grow_int (a : int array) n =
+  let b = Array.make n 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let soa_ensure s i =
+  let cap = Array.length s.f_sid in
+  if i >= cap then begin
+    let n = max (2 * cap) (i + 1) in
+    let k = Bytes.make n '\000' in
+    Bytes.blit s.kind 0 k 0 cap;
+    s.kind <- k;
+    s.f_sid <- grow_int s.f_sid n;
+    s.f_a <- grow_int s.f_a n;
+    s.f_b <- grow_int s.f_b n;
+    s.f_op <- grow_int s.f_op n;
+    s.f_aux <- grow_int s.f_aux n;
+    let dd = Array.make n Taint.empty in
+    Array.blit s.f_dd 0 dd 0 cap;
+    s.f_dd <- dd;
+    let cd = Array.make n Taint.empty in
+    Array.blit s.f_cd 0 cd 0 cap;
+    s.f_cd <- cd
+  end
+
+(* Reserve [n] arena bytes; returns the offset they start at. *)
+let arena_reserve s n =
+  let cap = Bytes.length s.arena in
+  if s.arena_len + n > cap then begin
+    let newcap = max (2 * cap) (s.arena_len + n) in
+    let b = Bytes.create newcap in
+    Bytes.blit s.arena 0 b 0 s.arena_len;
+    s.arena <- b
+  end;
+  let off = s.arena_len in
+  s.arena_len <- off + n;
+  off
+
+(* ---------- fast append API (used by Ctx's recording paths) ---------- *)
+
+let add_load t ~sid ~addr ~len ~cd ~op =
+  let tid = t.len in
+  t.n_loads <- t.n_loads + 1;
+  (match t.repr with
+   | Boxed v ->
+     Vec.push v
+       (Load { l_tid = tid; l_sid = sid; l_addr = addr; l_len = len;
+               l_cd = cd; l_op = op })
+   | Soa s ->
+     soa_ensure s tid;
+     Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_load);
+     s.f_sid.(tid) <- sid; s.f_a.(tid) <- addr; s.f_b.(tid) <- len;
+     s.f_op.(tid) <- op; s.f_cd.(tid) <- cd);
+  t.len <- tid + 1;
+  tid
+
+let soa_store_fields s tid ~sid ~addr ~len ~off ~dd ~cd ~op =
+  Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_store);
+  s.f_sid.(tid) <- sid; s.f_a.(tid) <- addr; s.f_b.(tid) <- len;
+  s.f_op.(tid) <- op; s.f_aux.(tid) <- off;
+  s.f_dd.(tid) <- dd; s.f_cd.(tid) <- cd
+
+(* Append a store whose payload is [src[src_off .. src_off+len)]. *)
+let add_store_sub t ~sid ~addr ~src ~src_off ~len ~dd ~cd ~op =
+  let tid = t.len in
+  t.n_stores <- t.n_stores + 1;
+  (match t.repr with
+   | Boxed v ->
+     Vec.push v
+       (Store { s_tid = tid; s_sid = sid; s_addr = addr; s_len = len;
+                s_data = String.sub src src_off len; s_dd = dd; s_cd = cd;
+                s_op = op })
+   | Soa s ->
+     soa_ensure s tid;
+     let off = arena_reserve s len in
+     Bytes.blit_string src src_off s.arena off len;
+     soa_store_fields s tid ~sid ~addr ~len ~off ~dd ~cd ~op);
+  t.len <- tid + 1;
+  tid
+
+(* Append an 8-byte little-endian store without building an intermediate
+   string (the u64-write fast path; the value must fit one line). *)
+let add_store_u64 t ~sid ~addr ~v ~dd ~cd ~op =
+  let tid = t.len in
+  t.n_stores <- t.n_stores + 1;
+  (match t.repr with
+   | Boxed v_ ->
+     let b = Bytes.create 8 in
+     Bytes.set_int64_le b 0 (Int64.of_int v);
+     Vec.push v_
+       (Store { s_tid = tid; s_sid = sid; s_addr = addr; s_len = 8;
+                s_data = Bytes.unsafe_to_string b; s_dd = dd; s_cd = cd;
+                s_op = op })
+   | Soa s ->
+     soa_ensure s tid;
+     let off = arena_reserve s 8 in
+     Bytes.set_int64_le s.arena off (Int64.of_int v);
+     soa_store_fields s tid ~sid ~addr ~len:8 ~off ~dd ~cd ~op);
+  t.len <- tid + 1;
+  tid
+
+let add_flush t ~sid ~line ~op =
+  let tid = t.len in
+  t.n_flushes <- t.n_flushes + 1;
+  (match t.repr with
+   | Boxed v ->
+     Vec.push v (Flush { f_tid = tid; f_sid = sid; f_line = line; f_op = op })
+   | Soa s ->
+     soa_ensure s tid;
+     Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_flush);
+     s.f_sid.(tid) <- sid; s.f_a.(tid) <- line; s.f_op.(tid) <- op);
+  t.len <- tid + 1;
+  tid
+
+let add_fence t ~sid ~op =
+  let tid = t.len in
+  t.n_fences <- t.n_fences + 1;
+  (match t.repr with
+   | Boxed v -> Vec.push v (Fence { n_tid = tid; n_sid = sid; n_op = op })
+   | Soa s ->
+     soa_ensure s tid;
+     Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_fence);
+     s.f_sid.(tid) <- sid; s.f_op.(tid) <- op);
+  t.len <- tid + 1;
+  tid
+
+(* ---------- generic append (rare event kinds, tests) ---------- *)
 
 let push t ev =
-  (match ev with
-   | Load _ -> t.n_loads <- t.n_loads + 1
-   | Store _ -> t.n_stores <- t.n_stores + 1
-   | Flush _ -> t.n_flushes <- t.n_flushes + 1
-   | Fence _ -> t.n_fences <- t.n_fences + 1
-   | _ -> ());
-  Vec.push t.events ev
+  match t.repr with
+  | Boxed v ->
+    (match ev with
+     | Load _ -> t.n_loads <- t.n_loads + 1
+     | Store _ -> t.n_stores <- t.n_stores + 1
+     | Flush _ -> t.n_flushes <- t.n_flushes + 1
+     | Fence _ -> t.n_fences <- t.n_fences + 1
+     | _ -> ());
+    Vec.push v ev;
+    t.len <- t.len + 1
+  | Soa s ->
+    let tid = t.len in
+    (match ev with
+     | Load l ->
+       ignore (add_load t ~sid:l.l_sid ~addr:l.l_addr ~len:l.l_len
+                 ~cd:l.l_cd ~op:l.l_op)
+     | Store st ->
+       ignore (add_store_sub t ~sid:st.s_sid ~addr:st.s_addr ~src:st.s_data
+                 ~src_off:0 ~len:(String.length st.s_data) ~dd:st.s_dd
+                 ~cd:st.s_cd ~op:st.s_op)
+     | Flush f -> ignore (add_flush t ~sid:f.f_sid ~line:f.f_line ~op:f.f_op)
+     | Fence f -> ignore (add_fence t ~sid:f.n_sid ~op:f.n_op)
+     | Log_range g ->
+       soa_ensure s tid;
+       Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_log_range);
+       s.f_sid.(tid) <- g.g_sid; s.f_a.(tid) <- g.g_addr;
+       s.f_b.(tid) <- g.g_len; s.f_op.(tid) <- g.g_op; s.f_aux.(tid) <- g.g_tx;
+       t.len <- tid + 1
+     | Tx_begin { t_tx; t_op; _ } ->
+       soa_ensure s tid;
+       Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_tx_begin);
+       s.f_op.(tid) <- t_op; s.f_aux.(tid) <- t_tx;
+       t.len <- tid + 1
+     | Tx_commit { t_tx; t_op; _ } ->
+       soa_ensure s tid;
+       Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_tx_commit);
+       s.f_op.(tid) <- t_op; s.f_aux.(tid) <- t_tx;
+       t.len <- tid + 1
+     | Tx_abort { t_tx; t_op; _ } ->
+       soa_ensure s tid;
+       Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_tx_abort);
+       s.f_op.(tid) <- t_op; s.f_aux.(tid) <- t_tx;
+       t.len <- tid + 1
+     | Op_begin o ->
+       soa_ensure s tid;
+       Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_op_begin);
+       s.f_a.(tid) <- Vec.length s.descs;
+       Vec.push s.descs o.o_desc;
+       s.f_op.(tid) <- o.o_index;
+       t.len <- tid + 1
+     | Op_end o ->
+       soa_ensure s tid;
+       Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_op_end);
+       s.f_op.(tid) <- o.o_index;
+       t.len <- tid + 1)
+
+(* ---------- index-based fast reads (no allocation on SoA) ---------- *)
+
+let kind_at t i =
+  match t.repr with
+  | Soa s -> Char.code (Bytes.unsafe_get s.kind i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Load _ -> k_load | Store _ -> k_store | Flush _ -> k_flush
+     | Fence _ -> k_fence | Log_range _ -> k_log_range
+     | Tx_begin _ -> k_tx_begin | Tx_commit _ -> k_tx_commit
+     | Tx_abort _ -> k_tx_abort | Op_begin _ -> k_op_begin
+     | Op_end _ -> k_op_end)
+
+let sid_at t i =
+  match t.repr with
+  | Soa s -> s.f_sid.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Load l -> l.l_sid | Store s -> s.s_sid | Flush f -> f.f_sid
+     | Fence f -> f.n_sid | Log_range g -> g.g_sid
+     | Tx_begin _ | Tx_commit _ | Tx_abort _ | Op_begin _ | Op_end _ -> 0)
+
+(* addr for loads/stores/log ranges, line for flushes *)
+let addr_at t i =
+  match t.repr with
+  | Soa s -> s.f_a.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Load l -> l.l_addr | Store s -> s.s_addr | Flush f -> f.f_line
+     | Log_range g -> g.g_addr
+     | Fence _ | Tx_begin _ | Tx_commit _ | Tx_abort _ | Op_begin _
+     | Op_end _ -> 0)
+
+let len_at t i =
+  match t.repr with
+  | Soa s -> s.f_b.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Load l -> l.l_len | Store s -> s.s_len | Log_range g -> g.g_len
+     | _ -> 0)
+
+let op_at t i =
+  match t.repr with
+  | Soa s -> s.f_op.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Load l -> l.l_op | Store s -> s.s_op | Flush f -> f.f_op
+     | Fence f -> f.n_op | Log_range g -> g.g_op
+     | Tx_begin x -> x.t_op | Tx_commit x -> x.t_op | Tx_abort x -> x.t_op
+     | Op_begin o -> o.o_index | Op_end o -> o.o_index)
+
+let tx_at t i =
+  match t.repr with
+  | Soa s -> s.f_aux.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Log_range g -> g.g_tx
+     | Tx_begin x -> x.t_tx | Tx_commit x -> x.t_tx | Tx_abort x -> x.t_tx
+     | _ -> 0)
+
+let dd_at t i =
+  match t.repr with
+  | Soa s -> s.f_dd.(i)
+  | Boxed v -> (match Vec.get v i with Store s -> s.s_dd | _ -> Taint.empty)
+
+let cd_at t i =
+  match t.repr with
+  | Soa s -> s.f_cd.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Store s -> s.s_cd | Load l -> l.l_cd | _ -> Taint.empty)
+
+let store_data t i =
+  match t.repr with
+  | Soa s -> Bytes.sub_string s.arena s.f_aux.(i) s.f_b.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Store s -> s.s_data
+     | _ -> invalid_arg "Trace.store_data: not a store")
+
+(* Write store [i]'s payload into [pmem] at its recorded address, straight
+   from the arena — no intermediate string on the SoA path. *)
+let store_write t i pmem =
+  match t.repr with
+  | Soa s ->
+    (* The alias is read synchronously inside [write_sub] and never
+       retained, so the arena's later growth/appends cannot be observed
+       through it. *)
+    Pmem.write_sub pmem s.f_a.(i) (Bytes.unsafe_to_string s.arena)
+      s.f_aux.(i) s.f_b.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Store s -> Pmem.write_bytes pmem s.s_addr s.s_data
+     | _ -> invalid_arg "Trace.store_write: not a store")
+
+(* Fold store [i] (address + payload) into a content digest; equal to
+   [Pmem.mix_string (Pmem.mix h addr) data]. *)
+let store_mix t h i =
+  match t.repr with
+  | Soa s ->
+    Pmem.mix_sub (Pmem.mix h s.f_a.(i)) (Bytes.unsafe_to_string s.arena)
+      s.f_aux.(i) s.f_b.(i)
+  | Boxed v ->
+    (match Vec.get v i with
+     | Store s -> Pmem.mix_string (Pmem.mix h s.s_addr) s.s_data
+     | _ -> invalid_arg "Trace.store_mix: not a store")
+
+(* ---------- event reconstruction (compat API) ---------- *)
+
+let soa_get s i =
+  match Char.code (Bytes.unsafe_get s.kind i) with
+  | 0 ->
+    Load { l_tid = i; l_sid = s.f_sid.(i); l_addr = s.f_a.(i);
+           l_len = s.f_b.(i); l_cd = s.f_cd.(i); l_op = s.f_op.(i) }
+  | 1 ->
+    Store { s_tid = i; s_sid = s.f_sid.(i); s_addr = s.f_a.(i);
+            s_len = s.f_b.(i);
+            s_data = Bytes.sub_string s.arena s.f_aux.(i) s.f_b.(i);
+            s_dd = s.f_dd.(i); s_cd = s.f_cd.(i); s_op = s.f_op.(i) }
+  | 2 -> Flush { f_tid = i; f_sid = s.f_sid.(i); f_line = s.f_a.(i); f_op = s.f_op.(i) }
+  | 3 -> Fence { n_tid = i; n_sid = s.f_sid.(i); n_op = s.f_op.(i) }
+  | 4 ->
+    Log_range { g_tid = i; g_sid = s.f_sid.(i); g_addr = s.f_a.(i);
+                g_len = s.f_b.(i); g_tx = s.f_aux.(i); g_op = s.f_op.(i) }
+  | 5 -> Tx_begin { t_tid = i; t_tx = s.f_aux.(i); t_op = s.f_op.(i) }
+  | 6 -> Tx_commit { t_tid = i; t_tx = s.f_aux.(i); t_op = s.f_op.(i) }
+  | 7 -> Tx_abort { t_tid = i; t_tx = s.f_aux.(i); t_op = s.f_op.(i) }
+  | 8 ->
+    Op_begin { o_tid = i; o_index = s.f_op.(i);
+               o_desc = Vec.get s.descs s.f_a.(i) }
+  | _ -> Op_end { o_tid = i; o_index = s.f_op.(i) }
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  match t.repr with
+  | Boxed v -> Vec.get v i
+  | Soa s -> soa_get s i
+
+let iter f t =
+  match t.repr with
+  | Boxed v -> Vec.iter f v
+  | Soa s -> for i = 0 to t.len - 1 do f (soa_get s i) done
+
+let iteri f t =
+  match t.repr with
+  | Boxed v -> Vec.iteri f v
+  | Soa s -> for i = 0 to t.len - 1 do f i (soa_get s i) done
 
 let tid_of = function
   | Load l -> l.l_tid
@@ -94,12 +487,14 @@ let op_of = function
 
 let stats t = (t.n_loads, t.n_stores, t.n_flushes, t.n_fences)
 
+let is_boxed t = match t.repr with Boxed _ -> true | Soa _ -> false
+
 let pp_event ppf = function
-  | Load l -> Fmt.pf ppf "%6d L  %s @%d+%d" l.l_tid l.l_sid l.l_addr l.l_len
-  | Store s -> Fmt.pf ppf "%6d S  %s @%d+%d" s.s_tid s.s_sid s.s_addr s.s_len
-  | Flush f -> Fmt.pf ppf "%6d FL %s line=%d" f.f_tid f.f_sid f.f_line
-  | Fence f -> Fmt.pf ppf "%6d FE %s" f.n_tid f.n_sid
-  | Log_range g -> Fmt.pf ppf "%6d LG %s @%d+%d tx=%d" g.g_tid g.g_sid g.g_addr g.g_len g.g_tx
+  | Load l -> Fmt.pf ppf "%6d L  %a @%d+%d" l.l_tid Sid.pp l.l_sid l.l_addr l.l_len
+  | Store s -> Fmt.pf ppf "%6d S  %a @%d+%d" s.s_tid Sid.pp s.s_sid s.s_addr s.s_len
+  | Flush f -> Fmt.pf ppf "%6d FL %a line=%d" f.f_tid Sid.pp f.f_sid f.f_line
+  | Fence f -> Fmt.pf ppf "%6d FE %a" f.n_tid Sid.pp f.n_sid
+  | Log_range g -> Fmt.pf ppf "%6d LG %a @%d+%d tx=%d" g.g_tid Sid.pp g.g_sid g.g_addr g.g_len g.g_tx
   | Tx_begin x -> Fmt.pf ppf "%6d TB tx=%d" x.t_tid x.t_tx
   | Tx_commit x -> Fmt.pf ppf "%6d TC tx=%d" x.t_tid x.t_tx
   | Tx_abort x -> Fmt.pf ppf "%6d TA tx=%d" x.t_tid x.t_tx

@@ -1,0 +1,220 @@
+(* Front-end fast-path tests: sid interning, epoch dedup, and full
+   fast-vs-reference parity (record + infer + generate).
+
+   [Frontend_ref] is the pre-interning front end kept as the parity
+   baseline; these properties are what license every fast-path
+   optimization (packed dedup sets, array indexes, singleton
+   persist-set closure): identical condition counts, identical crash
+   image digest sequences, identical generation stats. *)
+
+open Nvm
+module W = Witcher
+
+(* --- Sid interning ------------------------------------------------- *)
+
+let test_sid_roundtrip () =
+  let labels = [ "a:ins.tok"; "b"; ""; "a:ins.tok2"; "x:y:z" ] in
+  List.iter
+    (fun s ->
+       Alcotest.(check string) ("round-trip " ^ s) s
+         (Sid.to_string (Sid.intern s)))
+    labels;
+  Alcotest.(check int) "empty sid is id 0" 0 (Sid.intern "")
+
+let test_sid_idempotent () =
+  let s = "frontend:test.site" in
+  let i = Sid.intern s in
+  (* memo hit (physically equal string) and hash path (fresh copy)
+     must agree, and re-interning must not grow the table *)
+  let n = Sid.count () in
+  Alcotest.(check int) "memo path" i (Sid.intern s);
+  Alcotest.(check int) "hash path" i (Sid.intern (String.init 18 (String.get s)));
+  Alcotest.(check int) "no growth on re-intern" n (Sid.count ());
+  Alcotest.(check bool) "distinct labels distinct ids" true
+    (Sid.intern "frontend:test.other" <> i)
+
+(* Sids stored in the compact trace survive push/get: the event read
+   back at a store's tid carries the original label. *)
+let test_sid_trace_stability () =
+  let ctx = Ctx.create ~mode:Record (Pmem.create 4096) in
+  Ctx.op_begin ctx ~index:0 ~desc:"t";
+  Ctx.write_u64 ctx ~sid:"stab.w" 128 (Tv.const 7);
+  ignore (Ctx.read_u64 ctx ~sid:"stab.r" 128);
+  Ctx.op_end ctx ~index:0;
+  let trace = Ctx.trace ctx in
+  let seen_w = ref false and seen_r = ref false in
+  for i = 0 to Trace.length trace - 1 do
+    let k = Trace.kind_at trace i in
+    if k = Trace.k_store && Sid.to_string (Trace.sid_at trace i) = "stab.w"
+    then seen_w := true;
+    if k = Trace.k_load && Sid.to_string (Trace.sid_at trace i) = "stab.r"
+    then seen_r := true
+  done;
+  Alcotest.(check bool) "store sid readable from trace" true !seen_w;
+  Alcotest.(check bool) "load sid readable from trace" true !seen_r
+
+(* --- Epoch dedup --------------------------------------------------- *)
+
+(* Two *distinct* conditions violated at the same fence epoch must each
+   produce a crash image. Regression for the epoch-dedup key: keying on
+   a hash of the condition (instead of the condition itself) can
+   conflate distinct conditions and silently drop one's image. *)
+let test_epoch_dedup_distinct_conds () =
+  let ctx = Ctx.create ~mode:Record (Pmem.create 4096) in
+  Ctx.op_begin ctx ~index:0 ~desc:"t";
+  Ctx.write_u64 ctx ~sid:"w.x1" 128 (Tv.const 7);
+  Ctx.write_u64 ctx ~sid:"w.x2" 320 (Tv.const 9);
+  let a = Ctx.read_u64 ctx ~sid:"r.x1" 128 in
+  let b = Ctx.read_u64 ctx ~sid:"r.x2" 320 in
+  Ctx.write_u64 ctx ~sid:"w.y" 256 (Tv.add a b);
+  Ctx.persist ctx ~sid:"w.y_persist" 256 8;
+  Ctx.op_end ctx ~index:0;
+  let trace = Ctx.trace ctx in
+  let conds = W.Infer.infer trace in
+  (* two PO1 conditions watch y, one per req cell *)
+  let watching = W.Infer.conds_for conds 256 8 in
+  Alcotest.(check int) "two conditions on y" 2 (List.length watching);
+  let x1_lost = ref false and x2_lost = ref false in
+  let on_image (img : W.Crash_gen.image) =
+    if Pmem.read_u64 img.img 256 = 16 then begin
+      if Pmem.read_u64 img.img 128 = 0 then x1_lost := true;
+      if Pmem.read_u64 img.img 320 = 0 then x2_lost := true
+    end;
+    `Continue
+  in
+  ignore (W.Crash_gen.generate ~trace ~conds ~pool_size:4096 ~on_image ());
+  Alcotest.(check bool) "image with x1 unpersisted" true !x1_lost;
+  Alcotest.(check bool) "image with x2 unpersisted" true !x2_lost
+
+(* --- Fast-vs-reference parity -------------------------------------- *)
+
+(* Run one store's workload through both front ends and compare
+   everything observable: the traces, the condition counts, the crash
+   image digest sequence and the generation stats. *)
+let check_parity ~name ~n_ops ~seed ~max_images =
+  let e = Option.get (Stores.Registry.find name) in
+  let ops =
+    let module S = (val e.buggy ()) in
+    let wl =
+      if S.supports_scan then { W.Workload.default with n_ops; seed }
+      else W.Workload.no_scan { W.Workload.default with n_ops; seed }
+    in
+    W.Workload.generate wl
+  in
+  let rec_ref = W.Driver.record ~boxed:true (e.buggy ()) ops in
+  let rec_fast = W.Driver.record (e.buggy ()) ops in
+  if Trace.length rec_ref.trace <> Trace.length rec_fast.trace then
+    QCheck2.Test.fail_reportf "%s: trace lengths differ" name;
+  for i = 0 to Trace.length rec_fast.trace - 1 do
+    if Trace.get rec_ref.trace i <> Trace.get rec_fast.trace i then
+      QCheck2.Test.fail_reportf "%s: traces differ at tid %d" name i
+  done;
+  let conds_ref = W.Frontend_ref.infer rec_ref.trace in
+  let conds_fast = W.Infer.infer rec_fast.trace in
+  let counts_ref =
+    ( conds_ref.W.Frontend_ref.n_po1, conds_ref.W.Frontend_ref.n_po2,
+      conds_ref.W.Frontend_ref.n_po3, conds_ref.W.Frontend_ref.n_guardians )
+  and counts_fast =
+    ( conds_fast.W.Infer.n_po1, conds_fast.W.Infer.n_po2,
+      conds_fast.W.Infer.n_po3, conds_fast.W.Infer.n_guardians )
+  in
+  if counts_ref <> counts_fast then
+    QCheck2.Test.fail_reportf "%s: condition counts differ" name;
+  let cfg = { W.Crash_gen.default_cfg with max_images } in
+  let digests gen =
+    let acc = ref [] in
+    let stats =
+      gen (fun (img : W.Crash_gen.image) ->
+          acc := img.digest :: !acc;
+          `Continue)
+    in
+    (List.rev !acc, stats)
+  in
+  let dig_ref, stats_ref =
+    digests (fun on_image ->
+        W.Frontend_ref.generate ~cfg ~trace:rec_ref.trace ~conds:conds_ref
+          ~pool_size:rec_ref.pool_size ~on_image ())
+  in
+  let dig_fast, stats_fast =
+    digests (fun on_image ->
+        W.Crash_gen.generate ~cfg ~trace:rec_fast.trace ~conds:conds_fast
+          ~pool_size:rec_fast.pool_size ~on_image ())
+  in
+  if dig_ref <> dig_fast then
+    QCheck2.Test.fail_reportf "%s: digest sequences differ (%d vs %d images)"
+      name (List.length dig_ref) (List.length dig_fast);
+  if
+    ( stats_ref.W.Crash_gen.candidates, stats_ref.generated, stats_ref.tested,
+      stats_ref.bytes_materialized )
+    <> ( stats_fast.W.Crash_gen.candidates, stats_fast.generated,
+         stats_fast.tested, stats_fast.bytes_materialized )
+  then QCheck2.Test.fail_reportf "%s: generation stats differ" name;
+  true
+
+let parity_stores =
+  [ "level-hash"; "fast-fair"; "cceh"; "wort"; "woart"; "p-clht" ]
+
+let prop_frontend_parity =
+  QCheck2.Test.make ~name:"front-end fast path == reference (stores, seeds)"
+    ~count:8
+    QCheck2.Gen.(
+      pair (int_range 0 (List.length parity_stores - 1)) (int_range 0 10_000))
+    (fun (si, seed) ->
+       check_parity ~name:(List.nth parity_stores si) ~n_ops:40 ~seed
+         ~max_images:200)
+
+(* --- Golden end-to-end JSON ---------------------------------------- *)
+
+(* The exact CLI configuration behind test/golden_run_level_hash.json:
+   `witcher run -s level-hash -n 60 --json`. The full pipeline run
+   through the fast front end must reproduce the golden report
+   byte-for-byte, timing fields aside. *)
+let strip_keys = [ "t_record"; "t_infer"; "t_gen"; "t_equiv"; "t_check"; "obs" ]
+
+let rec strip_timing (j : Obs.Jsonx.t) : Obs.Jsonx.t =
+  match j with
+  | Obs.Jsonx.Obj kvs ->
+    Obs.Jsonx.Obj
+      (List.filter_map
+         (fun (k, v) ->
+            if List.mem k strip_keys then None else Some (k, strip_timing v))
+         kvs)
+  | Obs.Jsonx.List l -> Obs.Jsonx.List (List.map strip_timing l)
+  | j -> j
+
+let test_golden_run () =
+  let cfg =
+    { W.Engine.default_cfg with
+      workload = { W.Workload.default with n_ops = 60; seed = 42 };
+      crash = { W.Crash_gen.default_cfg with max_images = 4000 } }
+  in
+  let e = Option.get (Stores.Registry.find "level-hash") in
+  let r = W.Engine.run ~cfg (e.buggy ()) in
+  let got = strip_timing (Campaign.Journal.result_json r) in
+  let path =
+    if Sys.file_exists "golden_run_level_hash.json" then
+      "golden_run_level_hash.json"
+    else "test/golden_run_level_hash.json"
+  in
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  let want =
+    match Obs.Jsonx.of_string raw with
+    | Ok j -> strip_timing j
+    | Error e -> Alcotest.failf "golden file does not parse: %s" e
+  in
+  Alcotest.(check string) "golden run report (timing stripped)"
+    (Obs.Jsonx.to_string want) (Obs.Jsonx.to_string got)
+
+let suite =
+  [ Alcotest.test_case "sid round-trip" `Quick test_sid_roundtrip;
+    Alcotest.test_case "sid idempotent re-intern" `Quick test_sid_idempotent;
+    Alcotest.test_case "sid trace push/get stability" `Quick
+      test_sid_trace_stability;
+    Alcotest.test_case "epoch dedup keeps distinct conditions" `Quick
+      test_epoch_dedup_distinct_conds;
+    QCheck_alcotest.to_alcotest prop_frontend_parity;
+    Alcotest.test_case "golden level-hash run (fast path)" `Slow
+      test_golden_run ]

@@ -185,45 +185,61 @@ let test_ctx_fuel () =
 
 (* --- Crash_sim: flush/fence semantics --- *)
 
-let store_ev tid addr data : Trace.store_ev =
-  { s_tid = tid; s_sid = "s" ^ string_of_int tid; s_addr = addr;
-    s_len = String.length data; s_data = data; s_dd = Taint.empty;
-    s_cd = Taint.empty; s_op = 0 }
+(* The simulator is trace-backed: tests append events to a live trace and
+   feed each one by index immediately, so assertions can interleave with
+   the event stream exactly as before. *)
+let sim_pair ~pool_size =
+  let tr = Trace.create () in
+  (tr, Crash_sim.create ~trace:tr ~pool_size)
+
+let sim_store tr sim addr data =
+  let tid =
+    Trace.add_store_sub tr ~sid:(Sid.intern "s") ~addr ~src:data ~src_off:0
+      ~len:(String.length data) ~dd:Taint.empty ~cd:Taint.empty ~op:0
+  in
+  Crash_sim.on_index sim tid;
+  tid
+
+let sim_flush tr sim line =
+  Crash_sim.on_index sim (Trace.add_flush tr ~sid:(Sid.intern "fl") ~line ~op:0)
+
+let sim_fence tr sim =
+  Crash_sim.on_index sim (Trace.add_fence tr ~sid:(Sid.intern "fe") ~op:0)
 
 let test_sim_guarantee () =
-  let sim = Crash_sim.create ~pool_size:1024 in
-  Crash_sim.on_store sim (store_ev 0 0 "aaaaaaaa");
-  checkb "dirty not guaranteed" false (Crash_sim.is_guaranteed sim 0);
-  Crash_sim.on_flush sim 0;
-  checkb "flushed not yet guaranteed" false (Crash_sim.is_guaranteed sim 0);
-  Crash_sim.on_fence sim;
-  checkb "fenced guaranteed" true (Crash_sim.is_guaranteed sim 0);
+  let tr, sim = sim_pair ~pool_size:1024 in
+  let t0 = sim_store tr sim 0 "aaaaaaaa" in
+  checkb "dirty not guaranteed" false (Crash_sim.is_guaranteed sim t0);
+  sim_flush tr sim 0;
+  checkb "flushed not yet guaranteed" false (Crash_sim.is_guaranteed sim t0);
+  sim_fence tr sim;
+  checkb "fenced guaranteed" true (Crash_sim.is_guaranteed sim t0);
   (* a store after the flush is not covered *)
-  Crash_sim.on_store sim (store_ev 1 8 "bbbbbbbb");
-  Crash_sim.on_fence sim;
-  checkb "unflushed store survives fences" false (Crash_sim.is_guaranteed sim 1)
+  let t1 = sim_store tr sim 8 "bbbbbbbb" in
+  sim_fence tr sim;
+  checkb "unflushed store survives fences" false (Crash_sim.is_guaranteed sim t1)
 
 let test_sim_closure () =
-  let sim = Crash_sim.create ~pool_size:1024 in
+  let tr, sim = sim_pair ~pool_size:1024 in
   (* two stores on line 0, one on line 1 *)
-  Crash_sim.on_store sim (store_ev 0 0 "11111111");
-  Crash_sim.on_store sim (store_ev 1 8 "22222222");
-  Crash_sim.on_store sim (store_ev 2 64 "33333333");
-  (* persisting tid 1 forces tid 0 (same line, earlier), not tid 2 *)
-  (match Crash_sim.feasible_extras sim ~persist:[ 1 ] ~avoid:[ 2 ] with
+  let t0 = sim_store tr sim 0 "11111111" in
+  let t1 = sim_store tr sim 8 "22222222" in
+  let t2 = sim_store tr sim 64 "33333333" in
+  (* persisting t1 forces t0 (same line, earlier), not t2 *)
+  (match Crash_sim.feasible_extras sim ~persist:[ t1 ] ~avoid:[ t2 ] with
    | Some extras ->
-     Alcotest.(check (list int)) "closure" [ 0; 1 ] (List.sort compare extras)
+     Alcotest.(check (list int)) "closure" [ t0; t1 ] (List.sort compare extras)
    | None -> Alcotest.fail "expected feasible");
-  (* cannot persist tid 1 while avoiding tid 0 *)
+  (* cannot persist t1 while avoiding t0 *)
   checkb "prefix conflict" true
-    (Crash_sim.feasible_extras sim ~persist:[ 1 ] ~avoid:[ 0 ] = None)
+    (Crash_sim.feasible_extras sim ~persist:[ t1 ] ~avoid:[ t0 ] = None)
 
 let test_sim_materialize () =
-  let sim = Crash_sim.create ~pool_size:1024 in
-  Crash_sim.on_store sim (store_ev 0 0 "11111111");
-  Crash_sim.on_store sim (store_ev 1 0 "22222222");
-  Crash_sim.on_flush sim 0;
-  Crash_sim.on_fence sim;
+  let tr, sim = sim_pair ~pool_size:1024 in
+  ignore (sim_store tr sim 0 "11111111");
+  ignore (sim_store tr sim 0 "22222222");
+  sim_flush tr sim 0;
+  sim_fence tr sim;
   (* both guaranteed; latest wins in the image *)
   let img = Crash_sim.materialize sim ~extras:[] in
   Alcotest.(check string) "latest bytes" "22222222" (Pmem.read_bytes img 0 8)
@@ -234,20 +250,18 @@ let prop_prefix_closed =
     ~count:100
     QCheck2.Gen.(list_size (int_range 1 40) (pair (int_range 0 31) (int_range 0 2)))
     (fun ops ->
-       let sim = Crash_sim.create ~pool_size:4096 in
-       let tid = ref 0 in
+       let tr, sim = sim_pair ~pool_size:4096 in
        let stores = ref [] in
        List.iter
          (fun (word, kind) ->
             match kind with
             | 0 | 1 ->
               let addr = word * 8 in
-              Crash_sim.on_store sim (store_ev !tid addr "xxxxxxxx");
-              stores := (!tid, addr) :: !stores;
-              incr tid
+              let tid = sim_store tr sim addr "xxxxxxxx" in
+              stores := (tid, addr) :: !stores
             | _ ->
-              Crash_sim.on_flush sim (Pmem.line_of_addr (word * 8));
-              Crash_sim.on_fence sim)
+              sim_flush tr sim (Pmem.line_of_addr (word * 8));
+              sim_fence tr sim)
          ops;
        match !stores with
        | [] -> true
@@ -275,24 +289,31 @@ let prop_materialize_bit_identical =
   QCheck2.Test.make ~name:"cow materialize = full-copy materialize" ~count:100
     QCheck2.Gen.(list_size (int_range 1 40) (pair (int_range 0 31) (int_range 0 2)))
     (fun ops ->
-       let sim = Crash_sim.create ~pool_size:4096 in
-       let tid = ref 0 in
+       let tr, sim = sim_pair ~pool_size:4096 in
+       let store_tids = ref [] in
        List.iter
          (fun (word, kind) ->
             match kind with
             | 0 | 1 ->
-              Crash_sim.on_store sim
-                (store_ev !tid (word * 8)
-                   (Printf.sprintf "%08d" (!tid * 7 mod 99999999)));
-              incr tid
+              let k = List.length !store_tids in
+              let tid =
+                sim_store tr sim (word * 8)
+                  (Printf.sprintf "%08d" (k * 7 mod 99999999))
+              in
+              store_tids := tid :: !store_tids
             | _ ->
-              Crash_sim.on_flush sim (Pmem.line_of_addr (word * 8));
-              Crash_sim.on_fence sim)
+              sim_flush tr sim (Pmem.line_of_addr (word * 8));
+              sim_fence tr sim)
          ops;
        let extras_of tid =
          match Crash_sim.feasible_extras sim ~persist:[ tid ] ~avoid:[] with
          | Some e -> e
          | None -> []
+       in
+       let first_tid, last_tid =
+         match List.rev !store_tids with
+         | [] -> (0, 0)
+         | first :: _ -> (first, List.hd !store_tids)
        in
        List.for_all
          (fun extras ->
@@ -300,7 +321,7 @@ let prop_materialize_bit_identical =
             let flat_img = Crash_sim.materialize_copy sim ~extras in
             Pmem.is_cow cow_img
             && Pmem.snapshot cow_img = Pmem.snapshot flat_img)
-         [ []; extras_of 0; extras_of (max 0 (!tid - 1)) ])
+         [ []; extras_of first_tid; extras_of last_tid ])
 
 let suite =
   [ Alcotest.test_case "vec" `Quick test_vec;

@@ -10,4 +10,5 @@ let () =
       ("stores", Test_stores.suite);
       ("engine", Test_engine.suite);
       ("campaign", Test_campaign.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("frontend", Test_frontend.suite) ]
