@@ -559,7 +559,10 @@ let frontend () =
                if img.crash_op = 0 then "create"
                else W.Op.desc rec_fast.ops.(img.crash_op - 1)
              in
-             W.Cluster.add cl ~image:img ~op_desc
+             let op_kind =
+               Nvm.Sid.intern (W.Cluster.op_kind_of_desc op_desc)
+             in
+             W.Cluster.add cl ~image:img ~op_kind
                ~verdict:
                  (W.Equiv.Inconsistent
                     { first_diff = img.crash_op; got = some_out;
@@ -639,6 +642,164 @@ let frontend () =
   json_sections :=
     ("frontend", Obs.Jsonx.List (List.rev !rows)) :: !json_sections
 
+(* --- prune: path-representative pruning vs exhaustive validation --- *)
+
+let prune_ops =
+  let s =
+    try Sys.getenv "WITCHER_PRUNE_OPS" with Not_found -> "200,1000,2000"
+  in
+  List.filter_map int_of_string_opt
+    (List.map String.trim (String.split_on_char ',' s))
+
+let prune () =
+  section
+    "Path-representative pruning: Exhaustive vs Representative validation \
+     (lib/prune)";
+  (* The default crash config's per-site cap is itself a blunt pruner: at
+     2000 ops it squeezes the eligible stream down to a few hundred
+     images, leaving class-based pruning nothing to elide. This section
+     benchmarks the configuration the subsystem exists for: caps opened
+     up and the equivalence-class registry deciding which images are
+     worth validating. Both policies see the identical eligible stream. *)
+  let crash =
+    { W.Crash_gen.default_cfg with
+      max_images = 200_000; per_site_cap = 10_000 }
+  in
+  Printf.printf
+    "%-12s | %5s | %8s | %8s %8s | %8s %8s %6s %6s | %6s %7s | %s\n"
+    "store" "ops" "#img-gen" "exh-#val" "exh-t(s)" "rep-#val" "rep-t(s)"
+    "#cls" "#expnd" "elide%" "recall%" "parity";
+  print_endline line;
+  let rows = ref [] in
+  (* Found-bug sets at the paper's bug granularity: distinct (kind,
+     site-pair) keys, the unit Table 4/5 counts. Cluster *recall* (how
+     many of exhaustive's path-level clusters the pruned run also
+     reports) is printed per row; at small workloads it is 100% (the
+     qcheck gate in test/ asserts exact cluster parity there), at larger
+     ones a collapsed class can hide a mid-sequence divergent member, so
+     it is reported rather than asserted. *)
+  let bug_key (r : W.Cluster.report) = (r.kind, r.watch_sid, r.req_sid) in
+  let keys rs = List.sort_uniq compare (List.map bug_key rs) in
+  let cluster_key (r : W.Cluster.report) =
+    (r.kind, r.op_desc, r.path_hash, r.watch_sid, r.req_sid, r.rule)
+  in
+  let cluster_keys rs = List.sort_uniq compare (List.map cluster_key rs) in
+  let baseline_200 = ref 0. in
+  let worst_rep = ref 0. in
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       List.iter
+         (fun n ->
+            let cfg policy =
+              { W.Engine.default_cfg with
+                workload = { W.Workload.default with n_ops = n };
+                crash; prune = policy }
+            in
+            let timed policy =
+              let t0 = Unix.gettimeofday () in
+              let r = W.Engine.run ~cfg:(cfg policy) (e.buggy ()) in
+              (r, Unix.gettimeofday () -. t0)
+            in
+            let ex, t_ex = timed Prune.Policy.Exhaustive in
+            let rp, t_rp = timed Prune.Policy.Representative in
+            (* Hard parity: pruning must report the same found-bug set
+               (distinct kind + site pairs, and the same root-cause
+               counts) as exhaustive validation. *)
+            let parity =
+              keys ex.all_clusters = keys rp.all_clusters
+              && (ex.c_o, ex.c_a) = (rp.c_o, rp.c_a)
+            in
+            if not parity then begin
+              let kx = keys ex.all_clusters and kr = keys rp.all_clusters in
+              let show (kind, w, rq) =
+                Printf.sprintf "  %s %s -> %s"
+                  (match kind with
+                   | W.Cluster.C_ordering -> "C-O"
+                   | W.Cluster.C_atomicity -> "C-A")
+                  w rq
+              in
+              List.iter
+                (fun k ->
+                   if not (List.mem k kr) then
+                     print_endline ("missed by representative:\n" ^ show k))
+                kx;
+              List.iter
+                (fun k ->
+                   if not (List.mem k kx) then
+                     print_endline ("only in representative:\n" ^ show k))
+                kr;
+              failwith
+                (Printf.sprintf
+                   "bench prune: %s at %d ops: Representative found %d bug \
+                    site-pairs (%d C-O, %d C-A), Exhaustive %d (%d, %d) - \
+                    pruning missed or invented bugs"
+                   name n (List.length kr) rp.c_o rp.c_a (List.length kx)
+                   ex.c_o ex.c_a)
+            end;
+            let n_cl_ex = List.length (cluster_keys ex.all_clusters) in
+            let n_cl_common =
+              List.length
+                (List.filter
+                   (fun k -> List.mem k (cluster_keys ex.all_clusters))
+                   (cluster_keys rp.all_clusters))
+            in
+            let recall =
+              if n_cl_ex = 0 then 100.
+              else 100. *. float_of_int n_cl_common /. float_of_int n_cl_ex
+            in
+            if n = 200 then baseline_200 := max !baseline_200 t_ex;
+            if n = List.fold_left max 0 prune_ops then
+              worst_rep := max !worst_rep t_rp;
+            let total = rp.images_tested + rp.images_elided in
+            let elide_pct =
+              if total = 0 then 0.
+              else 100. *. float_of_int rp.images_elided /. float_of_int total
+            in
+            Printf.printf
+              "%-12s | %5d | %8d | %8d %8.2f | %8d %8.2f %6d %6d | %5.1f%% %6.1f%% | %s\n"
+              name n ex.images_generated ex.images_tested t_ex
+              rp.images_tested t_rp rp.prune_classes rp.prune_expansions
+              elide_pct recall
+              (if parity then "ok" else "FAIL");
+            rows :=
+              Obs.Jsonx.Obj
+                [ ("store", Obs.Jsonx.Str name);
+                  ("n_ops", Obs.Jsonx.Int n);
+                  ("images_generated", Obs.Jsonx.Int ex.images_generated);
+                  ("exhaustive_validated", Obs.Jsonx.Int ex.images_tested);
+                  ("exhaustive_time_s", Obs.Jsonx.Float t_ex);
+                  ("representative_validated", Obs.Jsonx.Int rp.images_tested);
+                  ("representative_time_s", Obs.Jsonx.Float t_rp);
+                  ("classes", Obs.Jsonx.Int rp.prune_classes);
+                  ("representatives", Obs.Jsonx.Int rp.prune_reps);
+                  ("expansions", Obs.Jsonx.Int rp.prune_expansions);
+                  ("images_elided", Obs.Jsonx.Int rp.images_elided);
+                  ("elide_pct", Obs.Jsonx.Float elide_pct);
+                  ("bug_site_pairs", Obs.Jsonx.Int (List.length (keys rp.all_clusters)));
+                  ("cluster_recall_pct", Obs.Jsonx.Float recall);
+                  ("parity", Obs.Jsonx.Bool parity) ]
+              :: !rows)
+         prune_ops)
+    [ "level-hash"; "fast-fair"; "cceh" ];
+  print_endline line;
+  if !baseline_200 > 0. && !worst_rep > 0. then
+    Printf.printf
+      "\nWall-clock check: slowest Representative run at %d ops = %.2fs vs \
+       200-op Exhaustive baseline = %.2fs (%s)\n"
+      (List.fold_left max 0 prune_ops) !worst_rep !baseline_200
+      (if !worst_rep <= !baseline_200 then "within baseline"
+       else Printf.sprintf "%.1fx baseline" (!worst_rep /. !baseline_200));
+  print_endline
+    "\n(Found-bug-set parity — distinct kind+site-pairs and root-cause\n\
+     \ counts — is asserted per row; any divergence aborts the benchmark.\n\
+     \ Representative validates one image per path-signature class plus\n\
+     \ logarithmic and tail spot checks, and re-expands a class\n\
+     \ exhaustively when any verdict diverges; recall%% reports how many\n\
+     \ of exhaustive's path-level clusters survive the pruning.)";
+  json_sections :=
+    ("prune", Obs.Jsonx.List (List.rev !rows)) :: !json_sections
+
 (* --- Bechamel micro-benchmarks: pipeline stage costs --- *)
 
 let micro () =
@@ -700,7 +861,7 @@ let sections =
   [ "table1", table1; "table2", table2; "table3", table3; "table4", table4;
     "table5", table5; "fig4", fig4; "random", random_baseline;
     "compare", compare_tools; "nonkv", nonkv; "validate", validate;
-    "oracle", oracle; "frontend", frontend; "micro", micro ]
+    "oracle", oracle; "frontend", frontend; "prune", prune; "micro", micro ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -720,13 +881,36 @@ let () =
   (* `bench/main.exe all --json` (or any section list with --json) dumps
      the machine-readable rows the sections collected into BENCH.json. *)
   if json then begin
+    (* Merge with an existing BENCH.json rather than clobbering it, so
+       `bench/main.exe frontend --json` and `bench/main.exe prune --json`
+       accumulate their sections into one document. Sections re-run now
+       replace their previous rows. *)
+    let prior =
+      if Sys.file_exists "BENCH.json" then
+        try
+          let ic = open_in_bin "BENCH.json" in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          match Obs.Jsonx.of_string s with
+          | Ok (Obs.Jsonx.Obj kvs) ->
+            List.filter
+              (fun (k, _) ->
+                 k <> "n_ops" && k <> "max_images" && k <> "sections"
+                 && not (List.mem_assoc k !json_sections))
+              kvs
+          | _ -> []
+        with _ -> []
+      else []
+    in
+    let body = prior @ List.rev !json_sections in
     let doc =
       Obs.Jsonx.Obj
         (("n_ops", Obs.Jsonx.Int n_ops)
          :: ("max_images", Obs.Jsonx.Int max_images)
          :: ("sections", Obs.Jsonx.List
-               (List.map (fun s -> Obs.Jsonx.Str s) chosen))
-         :: List.rev !json_sections)
+               (List.map (fun (k, _) -> Obs.Jsonx.Str k) body))
+         :: body)
     in
     let oc = open_out "BENCH.json" in
     output_string oc (Obs.Jsonx.to_string doc);

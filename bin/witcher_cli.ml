@@ -87,6 +87,37 @@ let ckpt_stride_arg =
                  instead of re-running from scratch. 0 disables \
                  checkpointing.")
 
+(* Image-pruning policy (DESIGN §7). A cmdliner conv so bad values fail
+   at argument parsing (exit 124-free: usage error, code 2-compatible). *)
+let prune_conv =
+  let open Cmdliner in
+  Arg.conv
+    ( (fun s ->
+        match Prune.Policy.of_string s with
+        | Ok p -> Ok p
+        | Error e -> Error (`Msg e)),
+      Prune.Policy.pp )
+
+let prune_arg =
+  let open Cmdliner in
+  Arg.(value & opt prune_conv Prune.Policy.Exhaustive
+       & info [ "prune" ] ~docv:"POLICY"
+           ~doc:"Crash-image pruning policy: $(b,exhaustive) validates \
+                 every eligible image, $(b,representative) validates one \
+                 representative per execution-path equivalence class \
+                 (expanding a class on any divergent verdict), \
+                 $(b,sample:N) validates every N-th image (blind \
+                 statistical fallback).")
+
+let expand_budget_arg =
+  let open Cmdliner in
+  Arg.(value & opt int W.Engine.default_cfg.expand_budget
+       & info [ "expand-budget" ] ~docv:"N"
+           ~doc:"Spot-check validations per equivalence class beyond the \
+                 representative (powers-of-two member indices); a \
+                 spot-check verdict diverging from the class prediction \
+                 promotes the whole class back into the validation queue.")
+
 (* Everything the campaign says to a human goes through this one sink. *)
 let progress_sink = C.Orchestrator.stderr_progress
 
@@ -99,12 +130,14 @@ let lookup name =
 
 let engine_cfg ?(lazy_oracle = W.Engine.default_cfg.lazy_oracle)
     ?(memo = W.Engine.default_cfg.memo)
-    ?(ckpt_stride = W.Engine.default_cfg.ckpt_stride) ~ops ~seed ~max_images
-    () =
+    ?(ckpt_stride = W.Engine.default_cfg.ckpt_stride)
+    ?(prune = W.Engine.default_cfg.prune)
+    ?(expand_budget = W.Engine.default_cfg.expand_budget) ~ops ~seed
+    ~max_images () =
   { W.Engine.default_cfg with
     workload = { W.Workload.default with n_ops = ops; seed };
     crash = { W.Crash_gen.default_cfg with max_images };
-    lazy_oracle; memo; ckpt_stride }
+    lazy_oracle; memo; ckpt_stride; prune; expand_budget }
 
 let list_cmd json =
   if json then begin
@@ -134,12 +167,12 @@ let list_cmd json =
   0
 
 let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
-    verbose json trace_out =
+    prune expand_budget verbose json trace_out =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
   let cfg =
     engine_cfg ~lazy_oracle:(not no_lazy_oracle) ~memo:(not no_memo)
-      ~ckpt_stride ~ops ~seed ~max_images ()
+      ~ckpt_stride ~prune ~expand_budget ~ops ~seed ~max_images ()
   in
   let r = W.Engine.run ~cfg instance in
   (* the run's observability state: [Engine.run] reset both at entry, so
@@ -170,6 +203,9 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
   else begin
     print_endline (W.Report.result_header ());
     print_endline (W.Report.result_row r);
+    (match r.prune_policy with
+     | Prune.Policy.Exhaustive -> ()
+     | _ -> print_endline (W.Report.prune_line r));
     print_newline ();
     if r.bug_reports = [] then
       print_endline "No crash-consistency bugs detected."
@@ -196,10 +232,11 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
   (* exit-code contract: campaigns and CI gate on this *)
   if r.bug_reports = [] then 0 else 1
 
-let campaign_cmd jobs_n stores seeds fixed_too ops max_images timeout out
-    resume json heartbeat trace_out =
+let campaign_cmd jobs_n stores seeds fixed_too ops max_images prune
+    expand_budget timeout out resume json heartbeat trace_out =
   let plan_cfg =
-    { C.Planner.stores; seeds; fixed_too; n_ops = ops; max_images }
+    { C.Planner.stores; seeds; fixed_too; n_ops = ops; max_images; prune;
+      expand_budget }
   in
   match C.Planner.plan plan_cfg with
   | Error msg ->
@@ -301,7 +338,8 @@ let list_t = Term.(const list_cmd $ json_arg)
 let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
         $ max_images_arg $ no_lazy_oracle_arg $ no_memo_arg $ ckpt_stride_arg
-        $ verbose_arg $ json_arg $ trace_out_arg)
+        $ prune_arg $ expand_budget_arg $ verbose_arg $ json_arg
+        $ trace_out_arg)
 
 let campaign_t =
   let j =
@@ -348,8 +386,8 @@ let campaign_t =
                    and an ETA from the sequential-estimate metric.")
   in
   Term.(const campaign_cmd $ j $ stores $ seeds $ fixed_too $ ops_arg
-        $ max_images_arg $ timeout $ out $ resume $ json_arg $ heartbeat
-        $ trace_out_arg)
+        $ max_images_arg $ prune_arg $ expand_budget_arg $ timeout $ out
+        $ resume $ json_arg $ heartbeat $ trace_out_arg)
 
 let trace_t =
   let head =

@@ -23,6 +23,11 @@ type row = {
   oracle_ops_saved : int;   (* oracle ops elided by laziness/checkpoints *)
   memo_hits : int;          (* verdicts served from the digest memo *)
   ckpt_bytes : int;         (* record-time checkpoint memory *)
+  prune_classes : int;      (* path-signature equivalence classes *)
+  prune_reps : int;         (* representatives + spot-checks validated *)
+  images_elided : int;      (* images never validated thanks to pruning *)
+  prune_expansions : int;   (* classes promoted back to full validation *)
+  seed_memo_hits : int;     (* classes elided via the cross-seed memo *)
   t_equiv : float;          (* summed equivalence-checking stage time *)
   wall : float;             (* summed per-job wall-clock *)
 }
@@ -41,8 +46,9 @@ let empty_row store variant =
   { store; variant; jobs = 0; ok = 0; failed = 0; timeout = 0; c_o = 0;
     c_a = 0; p_u = 0; p_efl = 0; p_efe = 0; p_el = 0; images_tested = 0;
     n_mismatch = 0; replay_ops = 0; bytes_materialized = 0; oracle_runs = 0;
-    oracle_ops_saved = 0; memo_hits = 0; ckpt_bytes = 0; t_equiv = 0.;
-    wall = 0. }
+    oracle_ops_saved = 0; memo_hits = 0; ckpt_bytes = 0; prune_classes = 0;
+    prune_reps = 0; images_elided = 0; prune_expansions = 0;
+    seed_memo_hits = 0; t_equiv = 0.; wall = 0. }
 
 let add_record row (r : Journal.record) =
   let ok, failed, timeout, counts =
@@ -52,6 +58,13 @@ let add_record row (r : Journal.record) =
     | Journal.Job_timeout -> (0, 0, 1, None)
   in
   let f k = match counts with None -> 0 | Some j -> Jsonx.int_field j k in
+  (* nested under "prune" and absent entirely in exhaustive / pre-prune
+     journals; the default-0 read keeps old sweeps aggregating *)
+  let p k =
+    match Option.bind counts (Jsonx.member "prune") with
+    | None -> 0
+    | Some pj -> Jsonx.int_field pj k
+  in
   { row with
     jobs = row.jobs + 1;
     ok = row.ok + ok;
@@ -74,6 +87,11 @@ let add_record row (r : Journal.record) =
     oracle_ops_saved = row.oracle_ops_saved + f "oracle_ops_saved";
     memo_hits = row.memo_hits + f "memo_hits";
     ckpt_bytes = row.ckpt_bytes + f "ckpt_bytes";
+    prune_classes = row.prune_classes + p "classes";
+    prune_reps = row.prune_reps + p "reps";
+    images_elided = row.images_elided + p "elided";
+    prune_expansions = row.prune_expansions + p "expansions";
+    seed_memo_hits = row.seed_memo_hits + p "seed_memo_hits";
     t_equiv =
       (row.t_equiv
        +. match counts with None -> 0. | Some j -> Jsonx.float_field j "t_equiv");
@@ -118,6 +136,11 @@ let of_records (records : Journal.record list) =
            oracle_ops_saved = acc.oracle_ops_saved + row.oracle_ops_saved;
            memo_hits = acc.memo_hits + row.memo_hits;
            ckpt_bytes = acc.ckpt_bytes + row.ckpt_bytes;
+           prune_classes = acc.prune_classes + row.prune_classes;
+           prune_reps = acc.prune_reps + row.prune_reps;
+           images_elided = acc.images_elided + row.images_elided;
+           prune_expansions = acc.prune_expansions + row.prune_expansions;
+           seed_memo_hits = acc.seed_memo_hits + row.seed_memo_hits;
            t_equiv = acc.t_equiv +. row.t_equiv;
            wall = acc.wall +. row.wall })
       (empty_row "TOTAL" Job.Buggy) rows
@@ -132,20 +155,21 @@ let status_cell row =
   else Printf.sprintf "%dF/%dT" row.failed row.timeout
 
 let row_line row =
-  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f | %7d %8d %6d | %8.1f | %8.1f"
+  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f | %7d %8d %6d | %5d %5d %7d %6d | %8.1f | %8.1f"
     row.store
     (if row.store = "TOTAL" then "" else Job.variant_name row.variant)
     row.jobs row.ok (status_cell row) row.c_o row.c_a row.p_u row.p_efl
     row.p_efe row.p_el row.images_tested row.n_mismatch row.replay_ops
     (float_of_int row.bytes_materialized /. 1024. /. 1024.)
     row.oracle_runs row.oracle_ops_saved row.memo_hits
+    row.prune_classes row.prune_reps row.images_elided row.prune_expansions
     row.t_equiv row.wall
 
 let header () =
-  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s | %7s %8s %6s | %8s | %8s"
+  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s | %7s %8s %6s | %5s %5s %7s %6s | %8s | %8s"
     "store" "var" "jobs" "ok" "status" "C-O" "C-A" "P-U" "P-EFL" "P-EFE"
     "P-EL" "#img-tst" "#mismtch" "#replay" "mat-MB" "#oracle" "#o-saved"
-    "#memo" "equiv(s)" "wall(s)"
+    "#memo" "#cls" "#rep" "#elide" "#expnd" "equiv(s)" "wall(s)"
 
 (* [elapsed] is the campaign's real wall-clock; the speedup line compares
    it against running every job back to back on one core. *)
@@ -200,6 +224,11 @@ let row_json row =
       ("oracle_ops_saved", Jsonx.Int row.oracle_ops_saved);
       ("memo_hits", Jsonx.Int row.memo_hits);
       ("ckpt_bytes", Jsonx.Int row.ckpt_bytes);
+      ("prune_classes", Jsonx.Int row.prune_classes);
+      ("prune_reps", Jsonx.Int row.prune_reps);
+      ("images_elided", Jsonx.Int row.images_elided);
+      ("prune_expansions", Jsonx.Int row.prune_expansions);
+      ("seed_memo_hits", Jsonx.Int row.seed_memo_hits);
       ("t_equiv", Jsonx.Float row.t_equiv);
       ("wall", Jsonx.Float row.wall) ]
 

@@ -49,9 +49,32 @@ let perf_json (c : W.Perf.counts) =
                Jsonx.Obj [ ("sid", Jsonx.Str sid); ("count", Jsonx.Int n) ])
             (W.Perf.bug_sites c))) ]
 
+(* Pruning block, emitted only for non-exhaustive runs: exhaustive
+   results stay byte-identical to pre-prune journals (the golden-run test
+   and any old tooling reading new journals both rely on that). *)
+let prune_json (r : W.Engine.result) =
+  match r.prune_policy with
+  | Prune.Policy.Exhaustive -> []
+  | p ->
+    [ ("prune",
+       Jsonx.Obj
+         [ ("policy", Jsonx.Str (Prune.Policy.name p));
+           ("classes", Jsonx.Int r.prune_classes);
+           ("reps", Jsonx.Int r.prune_reps);
+           ("deferred", Jsonx.Int r.images_deferred);
+           ("elided", Jsonx.Int r.images_elided);
+           ("expansions", Jsonx.Int r.prune_expansions);
+           ("seed_memo_hits", Jsonx.Int r.seed_memo_hits);
+           ("class_outcomes",
+            Jsonx.List
+              (List.map
+                 (fun (k, ok) ->
+                    Jsonx.Obj [ ("k", Jsonx.Str k); ("ok", Jsonx.Bool ok) ])
+                 r.class_outcomes)) ]) ]
+
 let result_json (r : W.Engine.result) =
   Jsonx.Obj
-    [ ("store", Jsonx.Str r.name);
+    ([ ("store", Jsonx.Str r.name);
       ("n_ops", Jsonx.Int r.n_ops);
       ("trace_len", Jsonx.Int r.trace_len);
       ("n_loads", Jsonx.Int r.n_loads);
@@ -92,6 +115,7 @@ let result_json (r : W.Engine.result) =
       (* pre-split readers summed generation + checking as t_check; keep
          emitting it so old tooling can read new journals *)
       ("t_check", Jsonx.Float (r.t_gen +. r.t_equiv)) ]
+     @ prune_json r)
 
 (* ---------- records ---------- *)
 

@@ -51,8 +51,9 @@ let mkdir_p dir =
 
 (* What one worker does: look the store up, build the engine config the
    job spec describes, run the pipeline, return the per-job JSON. Runs
-   inside the forked child. *)
-let default_run_job (spec : Job.spec) =
+   inside the forked child; [memo] is the orchestrator's cross-seed class
+   memo, captured (as of fork time) for representative-mode jobs. *)
+let default_run_job ?memo (spec : Job.spec) =
   match Stores.Registry.find spec.store with
   | None -> failwith ("unknown store " ^ spec.store)
   | Some e ->
@@ -65,9 +66,13 @@ let default_run_job (spec : Job.spec) =
       { W.Engine.default_cfg with
         workload = { W.Workload.default with n_ops = spec.n_ops;
                      seed = spec.seed };
-        crash = { W.Crash_gen.default_cfg with max_images = spec.max_images } }
+        crash = { W.Crash_gen.default_cfg with max_images = spec.max_images };
+        prune = spec.prune; expand_budget = spec.expand_budget }
     in
-    Journal.result_json (W.Engine.run ~cfg instance)
+    let class_memo =
+      match memo with None -> None | Some m -> Some (Seed_memo.fn m spec)
+    in
+    Journal.result_json (W.Engine.run ~cfg ?class_memo instance)
 
 let progress_line ~done_ ~total (jr : Pool.job_result) =
   let tag =
@@ -154,13 +159,22 @@ let trace_tracks ~t_end (records : Journal.record list) =
 
 (* Run [jobs] under [cfg]. [run_job] defaults to the registry-backed
    engine runner; the tests substitute hostile ones. *)
-let run_matrix ?(run_job = default_run_job) (cfg : cfg) ~jobs =
+let run_matrix ?run_job (cfg : cfg) ~jobs =
   mkdir_p cfg.out_dir;
   let journal_path = Filename.concat cfg.out_dir "journal.jsonl" in
   let prior = if cfg.resume then Journal.load journal_path else [] in
   if not cfg.resume && Sys.file_exists journal_path then
     Sys.remove journal_path;
   let done_keys = Journal.completed_keys prior in
+  (* Cross-seed class memo: seeded from the resumed journal (so a resumed
+     sweep keeps its dedup), grown as results land. Workers capture it at
+     fork time; the default runner consults it per job. *)
+  let memo = Seed_memo.of_records prior in
+  let run_job =
+    match run_job with
+    | Some f -> f
+    | None -> fun spec -> default_run_job ~memo spec
+  in
   let to_run, skipped =
     List.partition (fun s -> not (Hashtbl.mem done_keys (Job.key s))) jobs
   in
@@ -189,6 +203,7 @@ let run_matrix ?(run_job = default_run_job) (cfg : cfg) ~jobs =
           Journal.record ?obs:jr.obs ~spec:jr.spec ~t_wall:jr.t_wall
             jr.outcome
         in
+        Seed_memo.add_record memo record;
         Journal.append oc record;
         cfg.progress (progress_line ~done_:!executed ~total jr))
     ();

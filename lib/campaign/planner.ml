@@ -9,11 +9,14 @@ type cfg = {
   fixed_too : bool;             (* also test every repaired variant *)
   n_ops : int;
   max_images : int;
+  prune : Prune.Policy.t;
+  expand_budget : int;
 }
 
 let default =
   { stores = None; seeds = [ 42 ]; fixed_too = false; n_ops = 200;
-    max_images = 4000 }
+    max_images = 4000; prune = Prune.Policy.Exhaustive;
+    expand_budget = Job.default_expand_budget }
 
 let registry_names () =
   List.map (fun (e : Stores.Registry.entry) -> e.name) Stores.Registry.all
@@ -44,7 +47,8 @@ let plan (cfg : cfg) : (Job.spec list, string) result =
                  List.map
                    (fun seed ->
                       { Job.store; variant; seed; n_ops = cfg.n_ops;
-                        max_images = cfg.max_images })
+                        max_images = cfg.max_images; prune = cfg.prune;
+                        expand_budget = cfg.expand_budget })
                    cfg.seeds)
               variants)
          names)

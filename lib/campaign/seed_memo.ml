@@ -1,0 +1,76 @@
+(* Cross-seed class dedup (DESIGN §7.3). Representative-mode jobs journal
+   the outcome of every path-signature class they validated; within one
+   campaign, later jobs of the same (store, variant, n_ops, max_images)
+   cell family consult those outcomes so seed k+1 never revalidates a
+   class seed k already proved consistent — its members are deferred from
+   the start, subject to the same spot-check schedule as any local
+   prediction, so a seed-dependent divergence still promotes the class.
+
+   The memo is held by the orchestrator (parent process) and is captured
+   by each worker at fork time: jobs started after a result lands see it,
+   in-flight jobs don't — best-effort dedup, never a correctness gate. *)
+
+type t = {
+  (* cell family -> stable class key -> class proved consistent *)
+  cells : (string, (string, bool) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { cells = Hashtbl.create 16 }
+
+(* Deliberately excludes the seed (that is the point) and the prune
+   policy/budget: outcomes come only from representative-mode results,
+   and an exhaustive job never consults the memo. *)
+let cell_key (spec : Job.spec) =
+  Printf.sprintf "%s|%s|%d|%d" spec.store
+    (Job.variant_name spec.variant)
+    spec.n_ops spec.max_images
+
+let cell t spec =
+  let k = cell_key spec in
+  match Hashtbl.find_opt t.cells k with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 256 in
+    Hashtbl.add t.cells k h;
+    h
+
+(* Harvest the class outcomes of one job's [result_json] payload. A class
+   ever recorded inconsistent stays inconsistent (false wins): eliding on
+   it would hide a known-divergent class. *)
+let add_result t ~(spec : Job.spec) (result : Jsonx.t) =
+  match Option.bind (Jsonx.member "prune" result) (Jsonx.member "class_outcomes") with
+  | Some (Jsonx.List l) ->
+    let h = cell t spec in
+    List.iter
+      (fun o ->
+         match
+           ( Option.bind (Jsonx.member "k" o) Jsonx.to_str_opt,
+             Jsonx.member "ok" o )
+         with
+         | Some k, Some (Jsonx.Bool ok) ->
+           let ok = ok && Hashtbl.find_opt h k <> Some false in
+           Hashtbl.replace h k ok
+         | _ -> ())
+      l
+  | _ -> ()
+
+let add_record t (r : Journal.record) =
+  match r.status, r.result with
+  | Journal.Job_ok, Some result -> add_result t ~spec:r.spec result
+  | _ -> ()
+
+let of_records records =
+  let t = create () in
+  List.iter (add_record t) records;
+  t
+
+let lookup t (spec : Job.spec) skey =
+  Option.bind
+    (Hashtbl.find_opt t.cells (cell_key spec))
+    (fun h -> Hashtbl.find_opt h skey)
+
+(* The [Engine.run ~class_memo] closure for one job. *)
+let fn t (spec : Job.spec) = fun skey -> lookup t spec skey
+
+let n_classes t =
+  Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.cells 0

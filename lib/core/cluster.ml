@@ -24,8 +24,9 @@ type report = {
 
 type t = {
   store_name : string;
-  (* key: op kind, path hash, watch sid, req sid — sids as interned ints *)
-  clusters : (string * int * Nvm.Sid.t * Nvm.Sid.t, report) Hashtbl.t;
+  (* keyed on the pruning layer's path signature — bug-report clusters and
+     pruning equivalence classes are one notion (DESIGN §7) *)
+  clusters : (Prune.Path_sig.t, report) Hashtbl.t;
 }
 
 let create ~store_name = { store_name; clusters = Hashtbl.create 64 }
@@ -35,7 +36,14 @@ let op_kind_of_desc desc =
   | Some i -> String.sub desc 0 i
   | None -> desc
 
-let add t ~(image : Crash_gen.image) ~op_desc ~(verdict : Equiv.verdict) =
+(* The signature of an image's would-be cluster: also what Engine feeds
+   the [Prune.Equiv_class] registry, so a class and a cluster coincide.
+   [op_kind] is the interned operation type of the crashed op. *)
+let signature ~op_kind (image : Crash_gen.image) =
+  let watch, req = Crash_gen.violation_sids image.viol in
+  Prune.Path_sig.make ~op_kind ~path:image.path_hash ~watch ~req
+
+let add t ~(image : Crash_gen.image) ~op_kind ~(verdict : Equiv.verdict) =
   match verdict with
   | Equiv.Consistent -> ()
   | Equiv.Inconsistent v ->
@@ -46,13 +54,12 @@ let add t ~(image : Crash_gen.image) ~op_desc ~(verdict : Equiv.verdict) =
       | Crash_gen.Atomicity _ -> C_atomicity, "PA1"
       | Crash_gen.Unpersisted_epoch _ -> C_ordering, "EPOCH"
     in
-    let op_kind = op_kind_of_desc op_desc in
-    let key = (op_kind, image.path_hash, watch_sid, req_sid) in
+    let key = signature ~op_kind image in
     match Hashtbl.find_opt t.clusters key with
     | Some r -> r.count <- r.count + 1
     | None ->
       Hashtbl.add t.clusters key
-        { store_name = t.store_name; kind; op_desc = op_kind;
+        { store_name = t.store_name; kind; op_desc = Nvm.Sid.to_string op_kind;
           path_hash = image.path_hash;
           watch_sid = Nvm.Sid.to_string watch_sid;
           req_sid = Nvm.Sid.to_string req_sid; rule;

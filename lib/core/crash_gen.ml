@@ -67,9 +67,24 @@ type image = {
 type stats = {
   mutable candidates : int;      (* feasible violations found *)
   mutable generated : int;       (* distinct images *)
+  mutable eligible : int;        (* within the image budget and site caps *)
+  mutable deferred : int;        (* eligible but elided by the decide hook *)
   mutable tested : int;          (* images passed to on_image (post-cap) *)
   mutable bytes_materialized : int;  (* bytes copied to build the images *)
   per_op_images : (int, int) Hashtbl.t;  (* op index -> images generated *)
+}
+
+(* A candidate eligible image, described before materialization: what the
+   pruning layer's decide hook sees. [(cd_fence_tid, cd_key)] identifies
+   the image — it is exactly the dedup key — and is stable across
+   generation passes over the same trace, which is what lets Engine re-run
+   [generate] to materialize the deferred members of a promoted class. *)
+type cand = {
+  cd_fence_tid : int;   (* tid of the fence we crash before *)
+  cd_crash_op : int;    (* trace op index containing the crash *)
+  cd_key : int;         (* hash of the extra persist-set; 0 = baseline *)
+  cd_viol : violation;
+  cd_path_hash : int;
 }
 
 type cfg = {
@@ -84,13 +99,16 @@ type epoch_cand =
   | C_po of Infer.po * int            (* condition, sy tid *)
   | C_guardian of Infer.cell * int    (* guardian cell, store tid *)
 
-let path_hash_step h sid = (h * 131) + (sid land 0xffffff)
+(* The execution-path fold is shared with lib/prune so cluster keys and
+   pruning classes digest identically (and stably across processes). *)
+let path_hash_step = Prune.Path_sig.step
 
-let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image () =
+let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test) ~trace
+    ~(conds : Infer.t) ~pool_size ~on_image () =
   let sim = Crash_sim.create ~trace ~pool_size in
   let stats =
-    { candidates = 0; generated = 0; tested = 0; bytes_materialized = 0;
-      per_op_images = Hashtbl.create 64 }
+    { candidates = 0; generated = 0; eligible = 0; deferred = 0; tested = 0;
+      bytes_materialized = 0; per_op_images = Hashtbl.create 64 }
   in
   (* 8-byte word -> tid of latest store touching it, -1 = none. Grown on
      demand: pools are up to 16MB but stores touch a small dense prefix,
@@ -150,22 +168,35 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
       | None -> ()
       | Some extras ->
         stats.candidates <- stats.candidates + 1;
-        let img_key = (fence_tid, Hashtbl.hash extras) in
+        let ekey = Hashtbl.hash extras in
+        let img_key = (fence_tid, ekey) in
         if not (Hashtbl.mem img_seen img_key) then begin
           Hashtbl.add img_seen img_key ();
           stats.generated <- stats.generated + 1;
           bump_op_count op;
-          if stats.tested < cfg.max_images && site_ok site_key then begin
-            stats.tested <- stats.tested + 1;
-            let img = Crash_sim.materialize sim ~extras in
-            let image =
-              { img; crash_tid = fence_tid; crash_op = op; viol;
-                path_hash = !path_hash;
-                digest = Crash_sim.image_digest sim img }
-            in
-            match on_image image with
-            | `Continue -> ()
-            | `Stop -> stop := true
+          (* eligibility (budget + site caps) is decided before the prune
+             hook and counted on [eligible], not [tested], so the
+             eligible stream is identical whatever [decide] elides — the
+             invariant the deterministic expansion pass relies on *)
+          if stats.eligible < cfg.max_images && site_ok site_key then begin
+            stats.eligible <- stats.eligible + 1;
+            match
+              decide
+                { cd_fence_tid = fence_tid; cd_crash_op = op; cd_key = ekey;
+                  cd_viol = viol; cd_path_hash = !path_hash }
+            with
+            | `Defer -> stats.deferred <- stats.deferred + 1
+            | `Test ->
+              stats.tested <- stats.tested + 1;
+              let img = Crash_sim.materialize sim ~extras in
+              let image =
+                { img; crash_tid = fence_tid; crash_op = op; viol;
+                  path_hash = !path_hash;
+                  digest = Crash_sim.image_digest sim img }
+              in
+              match on_image image with
+              | `Continue -> ()
+              | `Stop -> stop := true
           end
         end
     end
@@ -199,20 +230,29 @@ let generate ?(cfg = default_cfg) ~trace ~(conds : Infer.t) ~pool_size ~on_image
          (* kind 2 partitions baseline sites from ordering (0) and
             atomicity (1); -1 stands in for the old "baseline" label *)
          let site_key = (fence_sid, -1, 2) in
-         if stats.tested < cfg.max_images && site_ok site_key then begin
-           stats.tested <- stats.tested + 1;
-           let img = Crash_sim.materialize sim ~extras:[] in
-           let image =
-             { img; crash_tid = fence_tid; crash_op = op;
-               viol =
-                 Unpersisted_epoch
-                   { fence_sid; first_lost_sid = sid_of_store first_lost };
-               path_hash = !path_hash;
-               digest = Crash_sim.image_digest sim img }
+         if stats.eligible < cfg.max_images && site_ok site_key then begin
+           stats.eligible <- stats.eligible + 1;
+           let viol =
+             Unpersisted_epoch
+               { fence_sid; first_lost_sid = sid_of_store first_lost }
            in
-           match on_image image with
-           | `Continue -> ()
-           | `Stop -> stop := true
+           match
+             decide
+               { cd_fence_tid = fence_tid; cd_crash_op = op; cd_key = 0;
+                 cd_viol = viol; cd_path_hash = !path_hash }
+           with
+           | `Defer -> stats.deferred <- stats.deferred + 1
+           | `Test ->
+             stats.tested <- stats.tested + 1;
+             let img = Crash_sim.materialize sim ~extras:[] in
+             let image =
+               { img; crash_tid = fence_tid; crash_op = op; viol;
+                 path_hash = !path_hash;
+                 digest = Crash_sim.image_digest sim img }
+             in
+             match on_image image with
+             | `Continue -> ()
+             | `Stop -> stop := true
          end
        end
      | _ -> ());

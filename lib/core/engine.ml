@@ -11,11 +11,15 @@ type cfg = {
   lazy_oracle : bool;  (* build rolled-back oracles on first divergence *)
   memo : bool;         (* digest-keyed verdict memoization *)
   ckpt_stride : int;   (* record-time checkpoint every N ops; 0 = off *)
+  (* Path-representative image pruning (DESIGN §7). *)
+  prune : Prune.Policy.t;
+  expand_budget : int; (* spot-check validations per equivalence class *)
 }
 
 let default_cfg =
   { workload = Workload.default; crash = Crash_gen.default_cfg;
-    fuel = 3_000_000; lazy_oracle = true; memo = true; ckpt_stride = 32 }
+    fuel = 3_000_000; lazy_oracle = true; memo = true; ckpt_stride = 32;
+    prune = Prune.Policy.Exhaustive; expand_budget = 3 }
 
 type result = {
   name : string;
@@ -46,6 +50,15 @@ type result = {
   oracle_ops_saved : int;    (* oracle ops elided by laziness/checkpoints *)
   memo_hits : int;           (* verdicts served from the digest memo *)
   ckpt_bytes : int;          (* record-time checkpoint memory footprint *)
+  (* Path-representative pruning (DESIGN §7); all zero under Exhaustive. *)
+  prune_policy : Prune.Policy.t;
+  prune_classes : int;       (* path-signature equivalence classes seen *)
+  prune_reps : int;          (* representative + spot-check validations *)
+  images_deferred : int;     (* eligible images elided at decision time *)
+  images_elided : int;       (* deferred images never validated at all *)
+  prune_expansions : int;    (* classes promoted back to full validation *)
+  seed_memo_hits : int;      (* classes elided via the cross-seed memo *)
+  class_outcomes : (string * bool) list;  (* stable class key -> consistent *)
   t_record : float;
   t_infer : float;
   t_gen : float;             (* crash-image generation (trace walk + COW) *)
@@ -66,7 +79,8 @@ let timed f =
    run. Stage spans carry measured durations; [stage.gen]/[stage.equiv]
    are pipeline-fused in reality, so they are laid out as two adjacent
    logical spans tiling the fused loop's interval (DESIGN §6). *)
-let run ?(cfg = default_cfg) (module S : Store_intf.S) =
+let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
+    (module S : Store_intf.S) =
   Obs.Metrics.reset Obs.Metrics.default;
   Obs.Span.clear Obs.Span.default_buf;
   Obs.Span.with_span ~attrs:[ ("store", S.name) ] "engine.run" @@ fun () ->
@@ -92,29 +106,154 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   let op_desc_of k =
     if k = 0 then "create" else Op.desc recorded.ops.(k - 1)
   in
+  (* Interned operation type per op index: cluster keys and pruning
+     signatures share it without touching strings per image. *)
+  let op_kind_sids =
+    Array.init
+      (Array.length recorded.ops + 1)
+      (fun k -> Nvm.Sid.intern (Cluster.op_kind_of_desc (op_desc_of k)))
+  in
+  let sig_of_cand (c : Crash_gen.cand) =
+    let watch, req = Crash_gen.violation_sids c.cd_viol in
+    Prune.Path_sig.make ~op_kind:op_kind_sids.(c.cd_crash_op)
+      ~path:c.cd_path_hash ~watch ~req
+  in
   (* Generation and checking are pipeline-fused (one image alive at a
      time), so the stage split is measured around each Equiv.check call:
      t_equiv is the replay/compare time, t_gen the rest of the walk. *)
   let t_equiv_acc = ref 0. in
-  let on_image (image : Crash_gen.image) =
+  (* Check one image and feed the cluster table; [observe] additionally
+     reports the verdict to the pruning registry (pass 1 only). *)
+  let check_image ?observe (image : Crash_gen.image) =
     let t0 = Unix.gettimeofday () in
     let verdict =
       Equiv.check ~digest:image.digest checker ~img:image.img
         ~crash_op:image.crash_op
     in
     t_equiv_acc := !t_equiv_acc +. (Unix.gettimeofday () -. t0);
+    (match observe with
+     | None -> ()
+     | Some f -> f image (verdict = Equiv.Consistent));
     (match verdict with
      | Equiv.Consistent -> ()
      | Equiv.Inconsistent _ ->
        incr n_mismatch;
-       Cluster.add clusters ~image ~op_desc:(op_desc_of image.crash_op) ~verdict);
+       Cluster.add clusters ~image ~op_kind:op_kind_sids.(image.crash_op)
+         ~verdict);
     `Continue
   in
+  let reg = ref None in
+  let expanded_tested = ref 0 in
   let check_t0 = Unix.gettimeofday () in
   let stats, t_check =
     timed (fun () ->
-        Crash_gen.generate ~cfg:cfg.crash ~trace:recorded.trace ~conds
-          ~pool_size:recorded.pool_size ~on_image ())
+        match cfg.prune with
+        | Prune.Policy.Exhaustive ->
+          Crash_gen.generate ~cfg:cfg.crash ~trace:recorded.trace ~conds
+            ~pool_size:recorded.pool_size ~on_image:check_image ()
+        | Prune.Policy.Sample stride ->
+          (* blind §7.5-style statistical fallback: every stride-th
+             eligible image, no class tracking, no expansion *)
+          let i = ref (-1) in
+          let decide (_ : Crash_gen.cand) =
+            incr i;
+            if !i mod stride = 0 then `Test else `Defer
+          in
+          Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
+            ~conds ~pool_size:recorded.pool_size ~on_image:check_image ()
+        | Prune.Policy.Representative ->
+          let r =
+            Prune.Equiv_class.create
+              ~expand:(Prune.Expand.create ~budget:cfg.expand_budget)
+              ~memo:class_memo ()
+          in
+          reg := Some r;
+          (* Pass 1: one representative (plus spot-checks) per class;
+             deferred members are remembered by their stable
+             (fence, persist-set) identity, not by image — a materialized
+             image aliases the live simulator pool and dies at the next
+             trace event. *)
+          let decide (c : Crash_gen.cand) =
+            Prune.Equiv_class.decide r ~sig_:(sig_of_cand c)
+              ~member:(c.cd_fence_tid, c.cd_key)
+          in
+          let observe image consistent =
+            Prune.Equiv_class.observe r
+              ~sig_:(Cluster.signature
+                       ~op_kind:op_kind_sids.(image.Crash_gen.crash_op) image)
+              ~consistent
+          in
+          let stats =
+            Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
+              ~conds ~pool_size:recorded.pool_size
+              ~on_image:(check_image ~observe) ()
+          in
+          (* Expansion waves. Generation is deterministic over the same
+             trace and config, so re-running it with a decide hook that
+             admits an explicit member set re-materializes precisely
+             those images; the Equiv checker (and its digest memo)
+             carries over. The first wave holds every promoted class's
+             deferred members plus one tail spot-check per collapsed
+             class — the latest deferred member, the highest-value extra
+             check since divergence typically appears late as corruption
+             accumulates. Verdicts observed during a wave can promote
+             further classes, whose remaining members form the next
+             wave; the loop reaches a fixpoint because each class
+             expands at most once. *)
+          let tested_extra = Hashtbl.create 256 in
+          let expanded_sigs = Hashtbl.create 64 in
+          let next_wave () =
+            let want = Hashtbl.create 256 in
+            List.iter
+              (fun (sig_, members) ->
+                 if not (Hashtbl.mem expanded_sigs sig_) then begin
+                   Hashtbl.add expanded_sigs sig_ ();
+                   List.iter
+                     (fun m ->
+                        if not (Hashtbl.mem tested_extra m) then
+                          Hashtbl.replace want m ())
+                     members
+                 end)
+              (Prune.Equiv_class.promoted_deferred r);
+            want
+          in
+          let wave = ref (next_wave ()) in
+          List.iter
+            (fun (_sig, m) ->
+               if not (Hashtbl.mem tested_extra m) then
+                 Hashtbl.replace !wave m ())
+            (Prune.Equiv_class.tail_spots r);
+          while Hashtbl.length !wave > 0 do
+            let want = !wave in
+            let decide (c : Crash_gen.cand) =
+              let m = (c.cd_fence_tid, c.cd_key) in
+              if Hashtbl.mem want m then begin
+                Hashtbl.replace tested_extra m ();
+                `Test
+              end
+              else `Defer
+            in
+            (* each wanted member materializes exactly once; cut the
+               re-walk short as soon as the last one has been checked *)
+            let remaining = ref (Hashtbl.length want) in
+            let on_image image =
+              ignore (check_image ~observe image);
+              decr remaining;
+              if !remaining = 0 then `Stop else `Continue
+            in
+            let stats_w =
+              Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
+                ~conds ~pool_size:recorded.pool_size ~on_image ()
+            in
+            expanded_tested := !expanded_tested + stats_w.Crash_gen.tested;
+            stats.Crash_gen.tested <-
+              stats.Crash_gen.tested + stats_w.Crash_gen.tested;
+            stats.Crash_gen.bytes_materialized <-
+              stats.Crash_gen.bytes_materialized
+              + stats_w.Crash_gen.bytes_materialized;
+            wave := next_wave ()
+          done;
+          stats)
   in
   let t_equiv = !t_equiv_acc in
   let t_gen = Float.max 0. (t_check -. t_equiv) in
@@ -140,6 +279,24 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
   let count kind =
     List.length (List.filter (fun (r : Cluster.report) -> r.kind = kind) bug_reports)
   in
+  let prune_classes, prune_reps, prune_expansions, seed_memo_hits,
+      class_outcomes =
+    match !reg with
+    | Some r ->
+      ( Prune.Equiv_class.n_classes r, Prune.Equiv_class.n_reps r,
+        Prune.Equiv_class.n_promoted r, Prune.Equiv_class.n_memo_hits r,
+        Prune.Equiv_class.outcomes r )
+    | None -> (0, 0, 0, 0, [])
+  in
+  let images_deferred = stats.deferred in
+  let images_elided = stats.deferred - !expanded_tested in
+  if cfg.prune <> Prune.Policy.Exhaustive then begin
+    Obs.Metrics.incr ~n:prune_classes "prune.classes";
+    Obs.Metrics.incr ~n:prune_reps "prune.reps";
+    Obs.Metrics.incr ~n:images_elided "prune.images_elided";
+    Obs.Metrics.incr ~n:prune_expansions "prune.expansions";
+    Obs.Metrics.incr ~n:seed_memo_hits "prune.seed_memo_hits"
+  end;
   let n_loads, n_stores, n_flushes, n_fences = Nvm.Trace.stats recorded.trace in
   { name = S.name;
     n_ops = List.length ops;
@@ -166,4 +323,7 @@ let run ?(cfg = default_cfg) (module S : Store_intf.S) =
     oracle_ops_saved = estats.Equiv.n_oracle_ops_saved;
     memo_hits = estats.Equiv.n_memo_hits;
     ckpt_bytes = List.length recorded.checkpoints * recorded.pool_size;
+    prune_policy = cfg.prune;
+    prune_classes; prune_reps; images_deferred; images_elided;
+    prune_expansions; seed_memo_hits; class_outcomes;
     t_record; t_infer; t_gen; t_equiv }

@@ -289,8 +289,8 @@ let generate ?(cfg = Crash_gen.default_cfg) ~trace ~(conds : t) ~pool_size
   let open Crash_gen in
   let sim = Sim_ref.create ~pool_size in
   let stats =
-    { candidates = 0; generated = 0; tested = 0; bytes_materialized = 0;
-      per_op_images = Hashtbl.create 64 }
+    { candidates = 0; generated = 0; eligible = 0; deferred = 0; tested = 0;
+      bytes_materialized = 0; per_op_images = Hashtbl.create 64 }
   in
   (* tid -> store event, populated per store: the lookup table the old
      Crash_sim carried *)
@@ -347,7 +347,8 @@ let generate ?(cfg = Crash_gen.default_cfg) ~trace ~(conds : t) ~pool_size
           Hashtbl.add img_seen img_key ();
           stats.generated <- stats.generated + 1;
           bump_op_count op;
-          if stats.tested < cfg.max_images && site_ok site_key then begin
+          if stats.eligible < cfg.max_images && site_ok site_key then begin
+            stats.eligible <- stats.eligible + 1;
             stats.tested <- stats.tested + 1;
             let img = Sim_ref.materialize sim ~extras in
             let image =
@@ -381,7 +382,8 @@ let generate ?(cfg = Crash_gen.default_cfg) ~trace ~(conds : t) ~pool_size
          stats.generated <- stats.generated + 1;
          bump_op_count op;
          let site_key = (Sid.to_string fence_sid, "baseline", 2) in
-         if stats.tested < cfg.max_images && site_ok site_key then begin
+         if stats.eligible < cfg.max_images && site_ok site_key then begin
+           stats.eligible <- stats.eligible + 1;
            stats.tested <- stats.tested + 1;
            let img = Sim_ref.materialize sim ~extras:[] in
            let image =

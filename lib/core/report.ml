@@ -73,6 +73,23 @@ let timing_line (r : Engine.result) =
     r.oracle_runs r.oracle_ops_saved r.memo_hits
     (float_of_int r.ckpt_bytes /. 1024. /. 1024.)
 
+(* Pruning summary for a non-exhaustive run (`witcher run --prune ...`):
+   how many classes the eligible images collapsed into, how much
+   validation was elided, and how often divergence forced expansion. *)
+let prune_line (r : Engine.result) =
+  let total = r.images_tested + r.images_elided in
+  let pct =
+    if total = 0 then 0.
+    else 100. *. float_of_int r.images_elided /. float_of_int total
+  in
+  Printf.sprintf
+    "%-18s prune=%s | classes %d | reps %d | expanded %d class(es) | \
+     validated %d | elided %d images (%.1f%%) | seed-memo hits %d"
+    r.name
+    (Prune.Policy.name r.prune_policy)
+    r.prune_classes r.prune_reps r.prune_expansions r.images_tested
+    r.images_elided pct r.seed_memo_hits
+
 (* Table 4-style detailed bug list for one store. *)
 let bug_list (r : Engine.result) =
   let buf = Buffer.create 256 in

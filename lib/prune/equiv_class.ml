@@ -1,0 +1,141 @@
+(* The equivalence-class registry (DESIGN §7): groups eligible crash-image
+   candidates by [Path_sig], validates one representative per class (plus
+   [Expand]'s spot-checks), and defers the rest. [decide] is called once
+   per eligible candidate in generation order; [observe] feeds each
+   validated member's verdict back so divergence promotes the class.
+
+   Members are opaque ['a] descriptors, not images: a materialized image
+   aliases the live simulator pool and dies at the next trace event, so
+   deferred members are re-materialized by a deterministic second
+   generation pass over the promoted classes (Engine), keyed by the
+   descriptors collected here. *)
+
+type 'a cls = {
+  sig_ : Path_sig.t;
+  skey : string;                    (* stable cross-process class name *)
+  memo_hit : bool;                  (* predicted consistent by a prior seed *)
+  mutable n_members : int;
+  mutable prediction : bool option; (* Some true = predicted consistent *)
+  mutable promoted : bool;
+  mutable spots_used : int;
+  mutable deferred : 'a list;       (* newest first *)
+}
+
+type 'a t = {
+  classes : (Path_sig.t, 'a cls) Hashtbl.t;
+  expand : Expand.t;
+  memo : string -> bool option;     (* cross-seed class-outcome lookup *)
+  mutable n_reps : int;             (* representative + spot validations *)
+  mutable n_inline_expanded : int;  (* validated because class already promoted *)
+  mutable n_deferred : int;
+  mutable n_memo_hits : int;
+  mutable n_promoted : int;
+}
+
+let create ?(expand = Expand.default) ?(memo = fun _ -> None) () =
+  { classes = Hashtbl.create 256; expand; memo; n_reps = 0;
+    n_inline_expanded = 0; n_deferred = 0; n_memo_hits = 0; n_promoted = 0 }
+
+let defer t c member =
+  c.deferred <- member :: c.deferred;
+  t.n_deferred <- t.n_deferred + 1;
+  `Defer
+
+(* Decision for the eligible candidate [member] of class [sig_]. The
+   first member of an unknown class is its representative; a class a
+   prior seed proved consistent starts predicted-consistent and defers
+   even its first member (the cross-seed elision), subject to the same
+   spot-checks as any other prediction. *)
+let decide t ~sig_ ~member =
+  match Hashtbl.find_opt t.classes sig_ with
+  | None ->
+    let skey = Path_sig.stable_key sig_ in
+    let memo_hit = t.memo skey = Some true in
+    let c =
+      { sig_; skey; memo_hit; n_members = 1;
+        prediction = (if memo_hit then Some true else None);
+        promoted = false; spots_used = 0; deferred = [] }
+    in
+    Hashtbl.add t.classes sig_ c;
+    if memo_hit then begin
+      t.n_memo_hits <- t.n_memo_hits + 1;
+      defer t c member
+    end
+    else begin
+      t.n_reps <- t.n_reps + 1;
+      `Test
+    end
+  | Some c ->
+    let m = c.n_members in
+    c.n_members <- m + 1;
+    if c.promoted then begin
+      t.n_inline_expanded <- t.n_inline_expanded + 1;
+      `Test
+    end
+    else if Expand.want_spot t.expand ~member_index:m ~spots_used:c.spots_used
+    then begin
+      c.spots_used <- c.spots_used + 1;
+      t.n_reps <- t.n_reps + 1;
+      `Test
+    end
+    else defer t c member
+
+let promote t c =
+  if not c.promoted then begin
+    c.promoted <- true;
+    t.n_promoted <- t.n_promoted + 1
+  end
+
+(* Feed back the verdict of a member [decide] said to test. *)
+let observe t ~sig_ ~consistent =
+  match Hashtbl.find_opt t.classes sig_ with
+  | None -> ()
+  | Some c ->
+    if not c.promoted then
+      match Expand.on_verdict t.expand ~prediction:c.prediction ~consistent with
+      | Expand.Set_prediction -> c.prediction <- Some consistent
+      | Expand.Keep -> ()
+      | Expand.Promote ->
+        c.prediction <- Some consistent;
+        promote t c
+
+(* Deferred members of every promoted class, for the expansion pass. *)
+let promoted_deferred t =
+  Hashtbl.fold
+    (fun _ c acc -> if c.promoted && c.deferred <> [] then (c.sig_, c.deferred) :: acc else acc)
+    t.classes []
+
+(* Tail spot-checks: the most recently deferred member of every
+   unpromoted class predicted consistent. Corruption accumulates over a
+   workload, so the typical divergent class is consistent early and
+   inconsistent late — its representative (the earliest member) and the
+   power-of-two spots all pass while the tail fails. One extra check per
+   collapsed class catches exactly that shape; a disagreeing tail
+   promotes the class through the ordinary [observe] path. *)
+let tail_spots t =
+  Hashtbl.fold
+    (fun _ c acc ->
+       match c.prediction, c.deferred with
+       | Some true, m :: _ when not c.promoted -> (c.sig_, m) :: acc
+       | _ -> acc)
+    t.classes []
+
+(* (stable key, class proved consistent) for every class that got at
+   least one verdict (or a memo prediction): the journal payload future
+   seeds dedup against. A class is exportable as consistent only when it
+   was never promoted and its prediction is Consistent. *)
+let outcomes t =
+  Hashtbl.fold
+    (fun _ c acc ->
+       match c.prediction with
+       | None -> acc
+       | Some p -> (c.skey, p && not c.promoted) :: acc)
+    t.classes []
+  |> List.sort compare
+
+let n_classes t = Hashtbl.length t.classes
+let n_reps t = t.n_reps
+let n_inline_expanded t = t.n_inline_expanded
+let n_deferred t = t.n_deferred
+let n_memo_hits t = t.n_memo_hits
+let n_promoted t = t.n_promoted

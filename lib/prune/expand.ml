@@ -1,0 +1,36 @@
+(* Divergence-driven expansion policy (DESIGN §7). The representative's
+   verdict becomes the class's prediction; spot-checked members that
+   agree keep the class collapsed, and any member disagreeing with the
+   prediction promotes the whole class back into the validation queue,
+   so pruning degrades to exhaustive validation on divergence instead of
+   silently dropping members. An inconsistent *first* verdict is not
+   divergence: the class's cluster is already reported through the
+   representative (class signature = cluster key), so its deferred
+   members could only re-count the same bug, never find a new one. *)
+
+type t = {
+  budget : int;  (* spot-check validations per class beyond the representative *)
+}
+
+let default = { budget = 3 }
+
+let create ~budget = { budget = max 0 budget }
+
+(* Spot-check the member at this (0-based) arrival index? Powers of two
+   give logarithmic coverage of large classes: a class of n members gets
+   ~log2 n checks, so a heterogeneous class is caught with high
+   probability without re-testing everything. *)
+let is_spot_index m = m >= 1 && m land (m - 1) = 0
+
+let want_spot t ~member_index ~spots_used =
+  is_spot_index member_index && spots_used < t.budget
+
+type verdict_action =
+  | Set_prediction  (* first verdict: becomes the class's prediction *)
+  | Promote         (* divergence: validate every deferred member *)
+  | Keep            (* verdict matches the prediction *)
+
+let on_verdict (_ : t) ~prediction ~consistent =
+  match prediction with
+  | None -> Set_prediction
+  | Some p -> if p = consistent then Keep else Promote

@@ -1,0 +1,30 @@
+(* Crash-image pruning policy (DESIGN §7). [Exhaustive] validates every
+   eligible image (the pre-prune pipeline); [Representative] validates one
+   representative per path-signature equivalence class plus logarithmic
+   spot-checks, expanding a whole class on any divergence; [Sample n] is
+   the blind statistical fallback the paper concedes to in §7.5 — every
+   n-th eligible image, no soundness story. *)
+
+type t = Exhaustive | Representative | Sample of int
+
+let name = function
+  | Exhaustive -> "exhaustive"
+  | Representative -> "representative"
+  | Sample n -> Printf.sprintf "sample:%d" n
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "exhaustive" -> Ok Exhaustive
+  | "representative" | "repr" -> Ok Representative
+  | "sample" -> Ok (Sample 4)
+  | s when String.length s > 7 && String.sub s 0 7 = "sample:" ->
+    (match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+     | Some n when n >= 1 -> Ok (Sample n)
+     | _ -> Error (Printf.sprintf "bad sample stride in %S" s))
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown prune policy %S (expected exhaustive, representative or \
+          sample:N)" s)
+
+let pp ppf p = Fmt.string ppf (name p)

@@ -24,8 +24,9 @@ let orch_cfg ?(j = 2) ?(timeout = 120.) ?(resume = false) out_dir =
   { C.Orchestrator.default_cfg with j; timeout; out_dir; resume }
 
 let spec ?(variant = C.Job.Buggy) ?(seed = 1) ?(n_ops = 40)
-    ?(max_images = 200) store =
-  { C.Job.store; variant; seed; n_ops; max_images }
+    ?(max_images = 200) ?(prune = Prune.Policy.Exhaustive)
+    ?(expand_budget = C.Job.default_expand_budget) store =
+  { C.Job.store; variant; seed; n_ops; max_images; prune; expand_budget }
 
 (* ---------- planner ---------- *)
 
@@ -221,6 +222,48 @@ let test_preoracle_journal_compat () =
   Alcotest.(check bool) "old key counts as completed for --resume" true
     (Hashtbl.mem done_ (C.Job.key s))
 
+(* Journals written before the pruning layer carry no prune fields in
+   either the job spec or the result payload. They must parse as
+   exhaustive jobs under the unchanged v1 key (so --resume skips them),
+   aggregate with every prune column defaulting to 0, and contribute
+   nothing to the cross-seed class memo. *)
+let test_preprune_journal_compat () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let s = spec "level-hash" in
+  (* hand-written line, independent of today's encoders; the key is the
+     real v1 key so the resume check is meaningful *)
+  let line =
+    {|{"key":"|} ^ C.Job.key s
+    ^ {|","job":{"store":"level-hash","variant":"buggy","seed":1,"n_ops":40,"max_images":200},"status":"ok","t_wall":1.5,"result":{"store":"level-hash","c_o":3,"c_a":2,"images_tested":120,"n_mismatch":9,"t_gen":0.4,"t_equiv":0.6}}|}
+  in
+  let oc = open_out path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  let records = C.Journal.load path in
+  Alcotest.(check int) "pre-prune line parses" 1 (List.length records);
+  let r = List.hd records in
+  Alcotest.(check bool) "absent prune fields mean exhaustive" true
+    (r.spec.C.Job.prune = Prune.Policy.Exhaustive);
+  Alcotest.(check int) "expand budget defaults" C.Job.default_expand_budget
+    r.spec.C.Job.expand_budget;
+  Alcotest.(check bool) "old key matches today's exhaustive key" true
+    (r.key = C.Job.key r.spec);
+  let agg = C.Aggregate.of_records records in
+  Alcotest.(check int) "bug counts aggregate" 3 agg.total.c_o;
+  Alcotest.(check int) "prune_classes defaults to 0" 0 agg.total.prune_classes;
+  Alcotest.(check int) "prune_reps defaults to 0" 0 agg.total.prune_reps;
+  Alcotest.(check int) "images_elided defaults to 0" 0 agg.total.images_elided;
+  Alcotest.(check int) "expansions default to 0" 0 agg.total.prune_expansions;
+  Alcotest.(check int) "seed_memo_hits default to 0" 0 agg.total.seed_memo_hits;
+  Alcotest.(check bool) "report renders" true
+    (String.length (C.Aggregate.to_text agg) > 0);
+  let done_ = C.Journal.completed_keys records in
+  Alcotest.(check bool) "old key counts as completed for --resume" true
+    (Hashtbl.mem done_ (C.Job.key s));
+  Alcotest.(check int) "no class outcomes harvested" 0
+    (C.Seed_memo.n_classes (C.Seed_memo.of_records records))
+
 (* ---------- fault isolation (fake stores, custom run_job) ---------- *)
 
 let status_of records store =
@@ -404,6 +447,8 @@ let suite =
       test_presplit_journal_compat;
     Alcotest.test_case "pre-oracle journal still aggregates" `Quick
       test_preoracle_journal_compat;
+    Alcotest.test_case "pre-prune journal still aggregates" `Quick
+      test_preprune_journal_compat;
     Alcotest.test_case "failing job isolated from siblings" `Quick
       test_failing_job_isolated;
     Alcotest.test_case "livelocked job killed at deadline" `Quick

@@ -1,0 +1,300 @@
+(* lib/prune: path-signature equivalence classes, divergence-driven
+   expansion, and the engine's Representative policy.
+
+   The headline property is the parity gate: at small workloads, a
+   Representative run must report the exact same bug clusters as an
+   Exhaustive run — one validated image per class plus spot checks and
+   divergence-driven expansion lose no bugs, only redundant validations.
+   Everything else here pins the pieces: policy parsing, signature
+   stability, the spot/promotion schedule, and the registry's
+   bookkeeping. *)
+
+module W = Witcher
+module R = Stores.Registry
+module P = Prune
+
+(* --- Policy --- *)
+
+let test_policy_parse () =
+  let open P.Policy in
+  Alcotest.(check string) "exhaustive" "exhaustive" (name Exhaustive);
+  Alcotest.(check string) "representative" "representative" (name Representative);
+  Alcotest.(check string) "sample" "sample:4" (name (Sample 4));
+  let round s = Result.map name (of_string s) in
+  Alcotest.(check (result string string)) "roundtrip exhaustive"
+    (Ok "exhaustive") (round "exhaustive");
+  Alcotest.(check (result string string)) "repr shorthand"
+    (Ok "representative") (round "repr");
+  Alcotest.(check (result string string)) "sample:7" (Ok "sample:7")
+    (round "sample:7");
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (of_string "zap"));
+  Alcotest.(check bool) "sample:0 rejected" true
+    (Result.is_error (of_string "sample:0"))
+
+(* --- Path_sig --- *)
+
+let sid = Nvm.Sid.intern
+
+let test_path_sig_basics () =
+  let mk ?(op = "insert") ?(path = 42) ?(w = "site.a") ?(r = "site.b") () =
+    P.Path_sig.make ~op_kind:(sid op) ~path ~watch:(sid w) ~req:(sid r)
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "equal" true (P.Path_sig.equal a b);
+  Alcotest.(check int) "compare 0" 0 (P.Path_sig.compare a b);
+  Alcotest.(check int) "hash agrees" (P.Path_sig.hash a) (P.Path_sig.hash b);
+  Alcotest.(check bool) "op differs" false
+    (P.Path_sig.equal a (mk ~op:"delete" ()));
+  Alcotest.(check bool) "path differs" false
+    (P.Path_sig.equal a (mk ~path:43 ()));
+  Alcotest.(check bool) "watch differs" false
+    (P.Path_sig.equal a (mk ~w:"site.c" ()));
+  Alcotest.(check bool) "req differs" false
+    (P.Path_sig.equal a (mk ~r:"site.c" ()))
+
+(* The stable key must depend on the interned sites' *labels*, never on
+   their interning order, so it can name a class across processes and
+   across seeds (interning order follows first use, which follows the
+   workload). *)
+let test_path_sig_stable_key () =
+  let a =
+    P.Path_sig.make ~op_kind:(sid "insert") ~path:7
+      ~watch:(sid "stable.w") ~req:(sid "stable.r")
+  in
+  Alcotest.(check string) "pinned across processes"
+    (P.Path_sig.stable_key a)
+    (P.Path_sig.stable_key
+       (P.Path_sig.make ~op_kind:(sid "insert") ~path:7
+          ~watch:(sid "stable.w") ~req:(sid "stable.r")));
+  Alcotest.(check bool) "differs on path" true
+    (P.Path_sig.stable_key a
+     <> P.Path_sig.stable_key
+          (P.Path_sig.make ~op_kind:(sid "insert") ~path:8
+             ~watch:(sid "stable.w") ~req:(sid "stable.r")))
+
+(* [step] must likewise fold the site's label, not its interning order:
+   interning extra sids between two folds must not change the digest. *)
+let test_path_step_label_stable () =
+  let h1 = P.Path_sig.step 0 (sid "step.x") in
+  for i = 0 to 99 do
+    ignore (sid (Printf.sprintf "step.noise%d" i))
+  done;
+  let h2 = P.Path_sig.step 0 (sid "step.x") in
+  Alcotest.(check int) "same label, same fold" h1 h2;
+  Alcotest.(check bool) "different labels differ" true
+    (P.Path_sig.step 0 (sid "step.x") <> P.Path_sig.step 0 (sid "step.y"))
+
+(* --- Expand --- *)
+
+let test_expand_spots () =
+  let e = P.Expand.create ~budget:3 in
+  let spot m used = P.Expand.want_spot e ~member_index:m ~spots_used:used in
+  Alcotest.(check bool) "member 1" true (spot 1 0);
+  Alcotest.(check bool) "member 2" true (spot 2 1);
+  Alcotest.(check bool) "member 3 skipped" false (spot 3 2);
+  Alcotest.(check bool) "member 4" true (spot 4 2);
+  Alcotest.(check bool) "budget exhausted" false (spot 8 3)
+
+let test_expand_on_verdict () =
+  let e = P.Expand.default in
+  let v prediction consistent = P.Expand.on_verdict e ~prediction ~consistent in
+  (* the first verdict is the prediction, consistent or not: an
+     inconsistent representative already reports its cluster, so its
+     siblings could only re-count the same bug *)
+  Alcotest.(check bool) "first consistent sets" true
+    (v None true = P.Expand.Set_prediction);
+  Alcotest.(check bool) "first inconsistent sets" true
+    (v None false = P.Expand.Set_prediction);
+  Alcotest.(check bool) "agreeing keeps" true
+    (v (Some true) true = P.Expand.Keep);
+  Alcotest.(check bool) "divergence promotes" true
+    (v (Some true) false = P.Expand.Promote);
+  Alcotest.(check bool) "divergence promotes (either way)" true
+    (v (Some false) true = P.Expand.Promote)
+
+(* --- Equiv_class registry --- *)
+
+let sig_of i =
+  P.Path_sig.make ~op_kind:(sid "op") ~path:i ~watch:(sid "w") ~req:(sid "r")
+
+let test_registry_rep_and_defer () =
+  let t = P.Equiv_class.create () in
+  let s = sig_of 1 in
+  Alcotest.(check bool) "first member tested" true
+    (P.Equiv_class.decide t ~sig_:s ~member:0 = `Test);
+  P.Equiv_class.observe t ~sig_:s ~consistent:true;
+  (* arrival indices 1 and 2 are power-of-two spots; index 3 defers *)
+  Alcotest.(check bool) "spot tested" true
+    (P.Equiv_class.decide t ~sig_:s ~member:1 = `Test);
+  P.Equiv_class.observe t ~sig_:s ~consistent:true;
+  Alcotest.(check bool) "second spot tested" true
+    (P.Equiv_class.decide t ~sig_:s ~member:2 = `Test);
+  P.Equiv_class.observe t ~sig_:s ~consistent:true;
+  Alcotest.(check bool) "non-spot deferred" true
+    (P.Equiv_class.decide t ~sig_:s ~member:3 = `Defer);
+  Alcotest.(check int) "one class" 1 (P.Equiv_class.n_classes t);
+  Alcotest.(check int) "one deferral" 1 (P.Equiv_class.n_deferred t);
+  Alcotest.(check int) "no promotion" 0 (P.Equiv_class.n_promoted t);
+  Alcotest.(check bool) "nothing promoted" true
+    (P.Equiv_class.promoted_deferred t = []);
+  (* the consistent collapsed class exposes its newest member as a tail
+     spot-check *)
+  (match P.Equiv_class.tail_spots t with
+   | [ (s', m) ] ->
+     Alcotest.(check bool) "tail is the class" true (P.Path_sig.equal s s');
+     Alcotest.(check int) "tail is newest deferred" 3 m
+   | l -> Alcotest.failf "expected one tail spot, got %d" (List.length l))
+
+let test_registry_promotion () =
+  let t = P.Equiv_class.create () in
+  let s = sig_of 2 in
+  Alcotest.(check bool) "rep" true (P.Equiv_class.decide t ~sig_:s ~member:10 = `Test);
+  P.Equiv_class.observe t ~sig_:s ~consistent:true;
+  Alcotest.(check bool) "spot" true (P.Equiv_class.decide t ~sig_:s ~member:11 = `Test);
+  (* the spot diverges from the consistent prediction: promote *)
+  P.Equiv_class.observe t ~sig_:s ~consistent:false;
+  Alcotest.(check int) "promoted" 1 (P.Equiv_class.n_promoted t);
+  Alcotest.(check bool) "later members tested inline" true
+    (P.Equiv_class.decide t ~sig_:s ~member:12 = `Test);
+  Alcotest.(check int) "inline expansion counted" 1
+    (P.Equiv_class.n_inline_expanded t);
+  (* a promoted class is no longer a tail-spot candidate *)
+  Alcotest.(check bool) "no tail spots" true (P.Equiv_class.tail_spots t = [])
+
+let test_registry_memo () =
+  let t =
+    P.Equiv_class.create
+      ~memo:(fun k -> if k = P.Path_sig.stable_key (sig_of 3) then Some true else None)
+      ()
+  in
+  (* a class a prior seed proved consistent defers even its first member *)
+  Alcotest.(check bool) "memoized class defers rep" true
+    (P.Equiv_class.decide t ~sig_:(sig_of 3) ~member:0 = `Defer);
+  Alcotest.(check int) "memo hit counted" 1 (P.Equiv_class.n_memo_hits t);
+  (* unknown classes are unaffected *)
+  Alcotest.(check bool) "other class tests rep" true
+    (P.Equiv_class.decide t ~sig_:(sig_of 4) ~member:0 = `Test);
+  (* outcomes exports the memo prediction for the deferred class *)
+  let outs = P.Equiv_class.outcomes t in
+  Alcotest.(check bool) "memoized class exported consistent" true
+    (List.mem (P.Path_sig.stable_key (sig_of 3), true) outs)
+
+let test_registry_outcomes_exclude_promoted () =
+  let t = P.Equiv_class.create () in
+  let s = sig_of 5 in
+  ignore (P.Equiv_class.decide t ~sig_:s ~member:0);
+  P.Equiv_class.observe t ~sig_:s ~consistent:true;
+  ignore (P.Equiv_class.decide t ~sig_:s ~member:1);
+  P.Equiv_class.observe t ~sig_:s ~consistent:false;
+  Alcotest.(check bool) "promoted class never exported consistent" true
+    (List.for_all
+       (fun (k, ok) -> k <> P.Path_sig.stable_key s || not ok)
+       (P.Equiv_class.outcomes t))
+
+(* --- Engine integration --- *)
+
+let cluster_key (r : W.Cluster.report) =
+  (r.kind, r.op_desc, r.path_hash, r.watch_sid, r.req_sid, r.rule)
+
+let cluster_keys (r : W.Engine.result) =
+  List.sort_uniq compare (List.map cluster_key r.all_clusters)
+
+let engine_cfg ?(seed = W.Workload.default.seed) ?(n_ops = 60)
+    ?(prune = P.Policy.Exhaustive) () =
+  { W.Engine.default_cfg with
+    workload = { W.Workload.default with n_ops; seed };
+    crash = { W.Crash_gen.default_cfg with max_images = 600 };
+    prune }
+
+(* Representative mode must never change *what* is found, only how many
+   images are validated to find it. *)
+let test_representative_parity_level_hash () =
+  let ex =
+    W.Engine.run ~cfg:(engine_cfg ()) (Stores.Level_hash.buggy ())
+  in
+  let rp =
+    W.Engine.run ~cfg:(engine_cfg ~prune:P.Policy.Representative ())
+      (Stores.Level_hash.buggy ())
+  in
+  Alcotest.(check bool) "same clusters" true (cluster_keys ex = cluster_keys rp);
+  Alcotest.(check int) "same root causes" (List.length ex.bug_reports)
+    (List.length rp.bug_reports);
+  Alcotest.(check bool) "validates no more than exhaustive" true
+    (rp.images_tested <= ex.images_tested);
+  Alcotest.(check int) "exhaustive defers nothing" 0 ex.images_deferred;
+  Alcotest.(check int) "elided = deferred - expanded" rp.images_elided
+    (rp.images_deferred - (rp.images_tested - rp.prune_reps));
+  Alcotest.(check bool) "classes observed" true (rp.prune_classes > 0)
+
+(* The qcheck parity gate (ISSUE 6): at <= 60 ops, Representative reports
+   the exact same bug clusters as Exhaustive, across the registry stores,
+   at random seeds. *)
+let prop_representative_parity =
+  QCheck2.Test.make
+    ~name:"representative = exhaustive bug clusters, all stores (seeds)"
+    ~count:3
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       List.for_all
+         (fun (e : R.entry) ->
+            let ex = W.Engine.run ~cfg:(engine_cfg ~seed ()) (e.buggy ()) in
+            let rp =
+              W.Engine.run
+                ~cfg:(engine_cfg ~seed ~prune:P.Policy.Representative ())
+                (e.buggy ())
+            in
+            cluster_keys ex = cluster_keys rp
+            && rp.images_tested <= ex.images_tested)
+         R.all)
+
+(* Sample mode is the blind statistical fallback: it must run, validate
+   roughly 1/stride of the eligible stream, and never invent bugs. *)
+let test_sample_policy () =
+  let ex = W.Engine.run ~cfg:(engine_cfg ()) (Stores.Level_hash.buggy ()) in
+  let sp =
+    W.Engine.run ~cfg:(engine_cfg ~prune:(P.Policy.Sample 4) ())
+      (Stores.Level_hash.buggy ())
+  in
+  Alcotest.(check bool) "samples a fraction" true
+    (sp.images_tested < ex.images_tested && sp.images_tested > 0);
+  Alcotest.(check bool) "subset of exhaustive clusters" true
+    (List.for_all
+       (fun k -> List.mem k (cluster_keys ex))
+       (cluster_keys sp))
+
+(* Cross-seed memo: feeding seed A's class outcomes into seed A again
+   must elide every consistent class (identical classes recur), while
+   keeping every inconsistent class's cluster. *)
+let test_class_memo_same_seed () =
+  let cfg = engine_cfg ~prune:P.Policy.Representative () in
+  let r1 = W.Engine.run ~cfg (Stores.Level_hash.buggy ()) in
+  let memo = Hashtbl.create 64 in
+  List.iter (fun (k, ok) -> Hashtbl.replace memo k ok) r1.class_outcomes;
+  let r2 =
+    W.Engine.run ~cfg ~class_memo:(Hashtbl.find_opt memo)
+      (Stores.Level_hash.buggy ())
+  in
+  Alcotest.(check bool) "memo hits recorded" true (r2.seed_memo_hits > 0);
+  Alcotest.(check bool) "fewer validations with memo" true
+    (r2.images_tested < r1.images_tested);
+  Alcotest.(check bool) "same clusters with memo" true
+    (cluster_keys r1 = cluster_keys r2)
+
+let suite =
+  [ Alcotest.test_case "policy parse/print" `Quick test_policy_parse;
+    Alcotest.test_case "path_sig equality" `Quick test_path_sig_basics;
+    Alcotest.test_case "path_sig stable key" `Quick test_path_sig_stable_key;
+    Alcotest.test_case "path step label-stable" `Quick test_path_step_label_stable;
+    Alcotest.test_case "expand spot schedule" `Quick test_expand_spots;
+    Alcotest.test_case "expand verdict policy" `Quick test_expand_on_verdict;
+    Alcotest.test_case "registry rep/spot/defer" `Quick test_registry_rep_and_defer;
+    Alcotest.test_case "registry promotion" `Quick test_registry_promotion;
+    Alcotest.test_case "registry cross-seed memo" `Quick test_registry_memo;
+    Alcotest.test_case "registry outcomes exclude promoted" `Quick
+      test_registry_outcomes_exclude_promoted;
+    Alcotest.test_case "representative parity (level-hash)" `Slow
+      test_representative_parity_level_hash;
+    Alcotest.test_case "sample policy" `Slow test_sample_policy;
+    Alcotest.test_case "cross-seed memo elides" `Slow test_class_memo_same_seed;
+    QCheck_alcotest.to_alcotest prop_representative_parity ]

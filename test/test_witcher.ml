@@ -11,4 +11,5 @@ let () =
       ("engine", Test_engine.suite);
       ("campaign", Test_campaign.suite);
       ("obs", Test_obs.suite);
-      ("frontend", Test_frontend.suite) ]
+      ("frontend", Test_frontend.suite);
+      ("prune", Test_prune.suite) ]
