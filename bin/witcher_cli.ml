@@ -5,10 +5,11 @@
      witcher list [--json]
      witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v] [--json]
                  [--trace-out t.json] [--no-lazy-oracle] [--no-memo]
-                 [--ckpt-stride N]
+                 [--ckpt-stride N] [--events ev.jsonl]
      witcher campaign -j 4 [--stores a,b] [--seeds 1,2,3] [--fixed-too]
                       [--out dir] [--resume] [--heartbeat SECS]
-                      [--trace-out t.json]
+                      [--trace-out t.json] [--events ev.jsonl]
+     witcher explain out-dir-or-events-file [--bug K] [--json]
      witcher trace -s cceh -n 20 [--head 80]
      witcher perf -s memcached -n 200
 
@@ -58,6 +59,14 @@ let trace_out_arg =
        & info [ "trace-out" ] ~docv:"FILE"
            ~doc:"Write a Chrome trace_event JSON file (load it in Perfetto \
                  or chrome://tracing).")
+
+let events_arg =
+  let open Cmdliner in
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Record the structured forensics event log to $(docv) \
+                 (JSONL); feed it to $(b,witcher explain) for post-hoc bug \
+                 forensics.")
 
 (* A/B switches for the oracle/replay optimizations (DESIGN §5). Exposed
    on `run` only: campaign job keys must stay a pure function of the
@@ -167,14 +176,19 @@ let list_cmd json =
   0
 
 let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
-    prune expand_budget verbose json trace_out =
+    prune expand_budget verbose json trace_out events =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
   let cfg =
     engine_cfg ~lazy_oracle:(not no_lazy_oracle) ~memo:(not no_memo)
       ~ckpt_stride ~prune ~expand_budget ~ops ~seed ~max_images ()
   in
+  (* the event sink also powers the -v per-bug footer, so verbose runs
+     record even without --events (to memory only) *)
+  let ev_on = events <> None || verbose in
+  if ev_on then Obs.Event.start ?path:events ();
   let r = W.Engine.run ~cfg instance in
+  let ev_items = if ev_on then Obs.Event.stop () else [] in
   (* the run's observability state: [Engine.run] reset both at entry, so
      they cover exactly this pipeline execution *)
   let metrics = Obs.Metrics.snapshot Obs.Metrics.default in
@@ -224,7 +238,12 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
       Printf.printf "\nAll %d clusters:\n" (List.length r.all_clusters);
       List.iter
         (fun rep -> Printf.printf "  %s\n" (Fmt.str "%a" W.Cluster.pp_report rep))
-        r.all_clusters
+        r.all_clusters;
+      (match C.Explain.bug_footer_lines ev_items with
+       | [] -> ()
+       | lines ->
+         Printf.printf "\nBug forensics (see `witcher explain`):\n";
+         List.iter (fun l -> Printf.printf "  %s\n" l) lines)
     end;
     print_newline ();
     print_string (W.Report.bug_list r)
@@ -233,7 +252,7 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
   if r.bug_reports = [] then 0 else 1
 
 let campaign_cmd jobs_n stores seeds fixed_too ops max_images prune
-    expand_budget timeout out resume json heartbeat trace_out =
+    expand_budget timeout out resume json heartbeat trace_out events =
   let plan_cfg =
     { C.Planner.stores; seeds; fixed_too; n_ops = ops; max_images; prune;
       expand_budget }
@@ -245,7 +264,7 @@ let campaign_cmd jobs_n stores seeds fixed_too ops max_images prune
   | Ok jobs ->
     let cfg =
       { C.Orchestrator.j = jobs_n; timeout; out_dir = out; resume;
-        progress = progress_sink; heartbeat; trace_out }
+        progress = progress_sink; heartbeat; trace_out; events }
     in
     progress_sink
       (Printf.sprintf "campaign: %d job(s), -j %d, journal %s"
@@ -272,6 +291,25 @@ let campaign_cmd jobs_n stores seeds fixed_too ops max_images prune
          s.records
     then 1
     else 0
+
+(* `witcher explain`: pure post-hoc forensics — no store lookup, no
+   re-execution; everything comes from the event stream / journal. *)
+let explain_cmd path bug json =
+  match C.Explain.load path with
+  | Error msg ->
+    Printf.eprintf "explain: %s\n" msg;
+    2
+  | Ok source ->
+    let out_of_range =
+      match (bug, source) with
+      | Some k, C.Explain.Events runs ->
+        k < 1 || k > List.length (C.Explain.bugs runs)
+      | _ -> false
+    in
+    if json then
+      print_endline (C.Jsonx.to_string (C.Explain.render_json ?bug source))
+    else print_string (C.Explain.render_text ?bug source);
+    if out_of_range then 2 else 0
 
 let trace_cmd store ops seed head =
   let e = lookup store in
@@ -339,7 +377,7 @@ let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
         $ max_images_arg $ no_lazy_oracle_arg $ no_memo_arg $ ckpt_stride_arg
         $ prune_arg $ expand_budget_arg $ verbose_arg $ json_arg
-        $ trace_out_arg)
+        $ trace_out_arg $ events_arg)
 
 let campaign_t =
   let j =
@@ -387,7 +425,22 @@ let campaign_t =
   in
   Term.(const campaign_cmd $ j $ stores $ seeds $ fixed_too $ ops_arg
         $ max_images_arg $ prune_arg $ expand_budget_arg $ timeout $ out
-        $ resume $ json_arg $ heartbeat $ trace_out_arg)
+        $ resume $ json_arg $ heartbeat $ trace_out_arg $ events_arg)
+
+let explain_t =
+  let path =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"PATH"
+             ~doc:"An --events file, a campaign output directory, or a \
+                   journal.jsonl (degraded: no event data).")
+  in
+  let bug =
+    Arg.(value & opt (some int) None
+         & info [ "bug" ] ~docv:"K" ~doc:"Explain only bug number $(docv) \
+                                          (1-based, as listed).")
+  in
+  Term.(const explain_cmd $ path $ bug $ json_arg)
 
 let trace_t =
   let head =
@@ -407,6 +460,18 @@ let cmds =
                parallel, resumable, fault-isolated sweep."
          ~exits:campaign_exits)
       campaign_t;
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:"Reconstruct per-bug forensics (crash point, persistence \
+               timeline, first divergence, prune provenance) from a \
+               recorded event log — no re-execution."
+         ~exits:
+           ([ Cmd.Exit.info 0 ~doc:"forensics rendered (possibly degraded \
+                                    to journal-only data).";
+              Cmd.Exit.info 2 ~doc:"input unusable or bug selection out of \
+                                    range." ]
+            @ non_ok_defaults))
+      explain_t;
     Cmd.v (Cmd.info "trace" ~doc:"Record and print an instrumented trace.") trace_t;
     Cmd.v (Cmd.info "perf" ~doc:"Run only the performance-bug detector.") perf_t ]
 

@@ -18,11 +18,12 @@ type cfg = {
   progress : string -> unit;  (* the one output choke point *)
   heartbeat : float option; (* render a live status line every N seconds *)
   trace_out : string option;  (* write a Chrome trace here after the sweep *)
+  events : string option;   (* merge per-worker event shards here *)
 }
 
 let default_cfg =
   { j = 1; timeout = 300.; out_dir = "campaign-out"; resume = false;
-    progress = ignore; heartbeat = None; trace_out = None }
+    progress = ignore; heartbeat = None; trace_out = None; events = None }
 
 (* The sink `witcher campaign` uses: stderr, flushed per line. *)
 let stderr_progress line = Printf.eprintf "%s\n%!" line
@@ -53,7 +54,7 @@ let mkdir_p dir =
    job spec describes, run the pipeline, return the per-job JSON. Runs
    inside the forked child; [memo] is the orchestrator's cross-seed class
    memo, captured (as of fork time) for representative-mode jobs. *)
-let default_run_job ?memo (spec : Job.spec) =
+let default_run_job ?memo ?events_dir (spec : Job.spec) =
   match Stores.Registry.find spec.store with
   | None -> failwith ("unknown store " ^ spec.store)
   | Some e ->
@@ -72,7 +73,15 @@ let default_run_job ?memo (spec : Job.spec) =
     let class_memo =
       match memo with None -> None | Some m -> Some (Seed_memo.fn m spec)
     in
-    Journal.result_json (W.Engine.run ~cfg ?class_memo instance)
+    (* Event shard: one file per job key, written by the forked child.
+       Keyed on Job.key so the post-sweep merge is a pure function of
+       the matrix, independent of worker scheduling. *)
+    (match events_dir with
+     | Some d -> Obs.Event.start ~path:(Filename.concat d (Job.key spec ^ ".jsonl")) ()
+     | None -> ());
+    let result = Journal.result_json (W.Engine.run ~cfg ?class_memo instance) in
+    if events_dir <> None then ignore (Obs.Event.stop ());
+    result
 
 let progress_line ~done_ ~total (jr : Pool.job_result) =
   let tag =
@@ -170,10 +179,18 @@ let run_matrix ?run_job (cfg : cfg) ~jobs =
      sweep keeps its dedup), grown as results land. Workers capture it at
      fork time; the default runner consults it per job. *)
   let memo = Seed_memo.of_records prior in
+  let events_dir =
+    match cfg.events with
+    | None -> None
+    | Some _ ->
+      let d = Filename.concat cfg.out_dir "events" in
+      mkdir_p d;
+      Some d
+  in
   let run_job =
     match run_job with
     | Some f -> f
-    | None -> fun spec -> default_run_job ~memo spec
+    | None -> fun spec -> default_run_job ~memo ?events_dir spec
   in
   let to_run, skipped =
     List.partition (fun s -> not (Hashtbl.mem done_keys (Job.key s))) jobs
@@ -231,6 +248,33 @@ let run_matrix ?run_job (cfg : cfg) ~jobs =
   output_string oc (Jsonx.to_string (Aggregate.to_json ~elapsed ~j:cfg.j aggregate));
   output_char oc '\n';
   close_out oc;
+  (* Merge event shards in matrix (jobs-list) order — deterministic for a
+     given matrix regardless of which worker ran what when. Shards left
+     over from resumed (skipped) jobs merge too, so the merged stream
+     covers the whole matrix. *)
+  (match cfg.events with
+   | None -> ()
+   | Some path ->
+     mkdir_p (Filename.dirname path);
+     let oc = open_out path in
+     List.iter
+       (fun spec ->
+          let shard =
+            Filename.concat (Filename.concat cfg.out_dir "events")
+              (Job.key spec ^ ".jsonl")
+          in
+          if Sys.file_exists shard then begin
+            let ic = open_in shard in
+            (try
+               while true do
+                 output_string oc (input_line ic);
+                 output_char oc '\n'
+               done
+             with End_of_file -> ());
+            close_in ic
+          end)
+       jobs;
+     close_out oc);
   let trace_path =
     match cfg.trace_out with
     | None -> None

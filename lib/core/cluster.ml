@@ -75,6 +75,17 @@ let reports t =
   |> List.sort (fun a b ->
       compare (a.watch_sid, a.req_sid, a.op_desc) (b.watch_sid, b.req_sid, b.op_desc))
 
+(* Reports with their path-signature keys: [reports] order, but with the
+   stable class key breaking (watch, req, op) ties — [reports]' order of
+   tied clusters leaks Hashtbl iteration over process-local sid ints,
+   and the event log must be a pure function of (store, seed, config). *)
+let reports_keyed t =
+  Hashtbl.fold (fun k r acc -> (Prune.Path_sig.stable_key k, r) :: acc)
+    t.clusters []
+  |> List.sort (fun (ka, a) (kb, b) ->
+      compare (a.watch_sid, a.req_sid, a.op_desc, ka)
+        (b.watch_sid, b.req_sid, b.op_desc, kb))
+
 let n_clusters t = Hashtbl.length t.clusters
 
 (* Distinct root causes: the static site that persisted too early (or

@@ -103,8 +103,8 @@ type epoch_cand =
    pruning classes digest identically (and stably across processes). *)
 let path_hash_step = Prune.Path_sig.step
 
-let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test) ~trace
-    ~(conds : Infer.t) ~pool_size ~on_image () =
+let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
+    ?(pass = 0) ~trace ~(conds : Infer.t) ~pool_size ~on_image () =
   let sim = Crash_sim.create ~trace ~pool_size in
   let stats =
     { candidates = 0; generated = 0; eligible = 0; deferred = 0; tested = 0;
@@ -154,6 +154,56 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test) ~trace
     if !best < 0 then None else Some !best
   in
   let sid_of_store tid = Trace.sid_at trace tid in
+  (* Event-log record for an eligible image, tested or deferred. Emitted
+     here, not in Engine: only the generator holds the simulator state
+     (guaranteed/in-flight counts) and the extra persist-set that define
+     the image's persistence-interval timeline. [pass] distinguishes the
+     first generation walk (0) from expansion-wave re-walks (>= 1). *)
+  let ev_image ~action ~fence_tid ~op ~key ~viol ~extras ~digest =
+    (* a deferred candidate was already logged by the first walk; waves
+       (pass > 0) re-log only what they actually materialize *)
+    if Obs.Event.enabled () && not (action = "defer" && pass > 0) then begin
+      let rule =
+        match viol with
+        | Ordering o -> Infer.rule_name o.rule
+        | Atomicity _ -> "PA1"
+        | Unpersisted_epoch _ -> "EPOCH"
+      in
+      let watch, req = violation_sids viol in
+      let cid =
+        Obs.Event.cond_id ~rule ~watch:(Sid.to_string watch)
+          ~req:(Sid.to_string req)
+      in
+      let extras_j =
+        Obs.Jsonx.List
+          (List.map
+             (fun tid ->
+                Obs.Jsonx.Obj
+                  [ ("tid", Obs.Jsonx.Int tid);
+                    ("sid", Obs.Jsonx.Str (Sid.to_string (Trace.sid_at trace tid)));
+                    ("addr", Obs.Jsonx.Int (Trace.addr_at trace tid));
+                    ("len", Obs.Jsonx.Int (Trace.len_at trace tid)) ])
+             extras)
+      in
+      let fields =
+        [ ("action", Obs.Jsonx.Str action);
+          ("crash_op", Obs.Jsonx.Int op);
+          ("fence", Obs.Jsonx.Int fence_tid);
+          ("key", Obs.Jsonx.Int key);
+          ("path", Obs.Jsonx.Int !path_hash);
+          ("cond", Obs.Jsonx.Int cid);
+          ("guaranteed", Obs.Jsonx.Int (Crash_sim.n_guaranteed sim));
+          ("dirty", Obs.Jsonx.Int (Crash_sim.n_dirty sim));
+          ("pass", Obs.Jsonx.Int pass);
+          ("extras", extras_j) ]
+        @ (match digest with
+           | None -> []
+           | Some d -> [ ("digest", Obs.Jsonx.Int d) ])
+      in
+      let id = Obs.Event.emit "image" ~fields in
+      if action = "test" then Obs.Event.last_image_id := id
+    end
+  in
   let site_ok key =
     let n = Option.value ~default:0 (Hashtbl.find_opt site_count key) in
     if n >= cfg.per_site_cap then false
@@ -185,14 +235,19 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test) ~trace
                 { cd_fence_tid = fence_tid; cd_crash_op = op; cd_key = ekey;
                   cd_viol = viol; cd_path_hash = !path_hash }
             with
-            | `Defer -> stats.deferred <- stats.deferred + 1
+            | `Defer ->
+              stats.deferred <- stats.deferred + 1;
+              ev_image ~action:"defer" ~fence_tid ~op ~key:ekey ~viol ~extras
+                ~digest:None
             | `Test ->
               stats.tested <- stats.tested + 1;
               let img = Crash_sim.materialize sim ~extras in
+              let digest = Crash_sim.image_digest sim img in
+              ev_image ~action:"test" ~fence_tid ~op ~key:ekey ~viol ~extras
+                ~digest:(Some digest);
               let image =
                 { img; crash_tid = fence_tid; crash_op = op; viol;
-                  path_hash = !path_hash;
-                  digest = Crash_sim.image_digest sim img }
+                  path_hash = !path_hash; digest }
               in
               match on_image image with
               | `Continue -> ()
@@ -241,14 +296,19 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test) ~trace
                { cd_fence_tid = fence_tid; cd_crash_op = op; cd_key = 0;
                  cd_viol = viol; cd_path_hash = !path_hash }
            with
-           | `Defer -> stats.deferred <- stats.deferred + 1
+           | `Defer ->
+             stats.deferred <- stats.deferred + 1;
+             ev_image ~action:"defer" ~fence_tid ~op ~key:0 ~viol ~extras:[]
+               ~digest:None
            | `Test ->
              stats.tested <- stats.tested + 1;
              let img = Crash_sim.materialize sim ~extras:[] in
+             let digest = Crash_sim.image_digest sim img in
+             ev_image ~action:"test" ~fence_tid ~op ~key:0 ~viol ~extras:[]
+               ~digest:(Some digest);
              let image =
                { img; crash_tid = fence_tid; crash_op = op; viol;
-                 path_hash = !path_hash;
-                 digest = Crash_sim.image_digest sim img }
+                 path_hash = !path_hash; digest }
              in
              match on_image image with
              | `Continue -> ()

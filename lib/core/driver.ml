@@ -29,7 +29,15 @@ let record ?(ckpt_stride = 0) ?(boxed = false) (module S : Store_intf.S) ops =
   let n = Array.length ops in
   let pmem = Pmem.create S.pool_size in
   let ctx = Ctx.create ~boxed ~mode:Record pmem in
+  let ev_op index desc =
+    if Obs.Event.enabled () then
+      ignore
+        (Obs.Event.emit "op"
+           ~fields:
+             [ ("op", Obs.Jsonx.Int index); ("desc", Obs.Jsonx.Str desc) ])
+  in
   Ctx.op_begin ctx ~index:0 ~desc:"create";
+  ev_op 0 "create";
   let store = S.create ctx in
   Ctx.op_end ctx ~index:0;
   let checkpoints = ref [] in
@@ -38,13 +46,17 @@ let record ?(ckpt_stride = 0) ?(boxed = false) (module S : Store_intf.S) ops =
       (fun i op ->
          let index = i + 1 in
          Ctx.op_begin ctx ~index ~desc:(Op.desc op);
+         ev_op index (Op.desc op);
          let out = S.exec store op in
          Ctx.op_end ctx ~index;
          (* Checkpoints must be flat copies: the record pool keeps
             mutating, so an O(1) COW view here would alias live bytes. *)
          if ckpt_stride > 0 && index mod ckpt_stride = 0 && index < n then begin
            checkpoints := (index, Pmem.copy pmem) :: !checkpoints;
-           Obs.Metrics.incr ~n:S.pool_size "driver.ckpt_bytes"
+           Obs.Metrics.incr ~n:S.pool_size "driver.ckpt_bytes";
+           if Obs.Event.enabled () then
+             ignore
+               (Obs.Event.emit "ckpt" ~fields:[ ("op", Obs.Jsonx.Int index) ])
          end;
          out)
       ops

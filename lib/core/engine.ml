@@ -84,6 +84,18 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
   Obs.Metrics.reset Obs.Metrics.default;
   Obs.Span.clear Obs.Span.default_buf;
   Obs.Span.with_span ~attrs:[ ("store", S.name) ] "engine.run" @@ fun () ->
+  (* The event sink is caller-owned (CLI / campaign worker), not reset
+     here: a `run` header event scopes this run's ids within the shard. *)
+  if Obs.Event.enabled () then
+    ignore
+      (Obs.Event.emit "run"
+         ~fields:
+           [ ("v", Obs.Jsonx.Int Obs.Event.version);
+             ("store", Obs.Jsonx.Str S.name);
+             ("seed", Obs.Jsonx.Int cfg.workload.Workload.seed);
+             ("n_ops", Obs.Jsonx.Int cfg.workload.Workload.n_ops);
+             ("max_images", Obs.Jsonx.Int cfg.crash.Crash_gen.max_images);
+             ("policy", Obs.Jsonx.Str (Prune.Policy.name cfg.prune)) ]);
   let wl = if S.supports_scan then cfg.workload else Workload.no_scan cfg.workload in
   let ops = Workload.generate wl in
   let rec_t0 = Unix.gettimeofday () in
@@ -122,10 +134,70 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
      time), so the stage split is measured around each Equiv.check call:
      t_equiv is the replay/compare time, t_gen the rest of the walk. *)
   let t_equiv_acc = ref 0. in
+  (* Provenance tag for the verdict currently being reached: why the
+     image under check was admitted. Set by the decide hook (or the
+     policy branch) immediately before [on_image] fires — valid because
+     generation and checking are pipeline-fused and sequential. *)
+  let prov = ref "exhaustive" in
+  (* One `slice` event per would-be cluster: the trace events touching
+     the violated condition's addresses, up to the crash point. *)
+  let slices_done : (Prune.Path_sig.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let emit_slice (image : Crash_gen.image) =
+    let trace = recorded.trace in
+    let watch, req = Crash_gen.violation_sids image.viol in
+    let upto = min image.crash_tid (Nvm.Trace.length trace - 1) in
+    (* address ranges written by the condition's sites before the crash *)
+    let ranges = ref [] in
+    for tid = 0 to upto do
+      if Nvm.Trace.kind_at trace tid = Nvm.Trace.k_store then begin
+        let sid = Nvm.Trace.sid_at trace tid in
+        if (sid = watch || sid = req) && List.length !ranges < 8 then begin
+          let r = (Nvm.Trace.addr_at trace tid, Nvm.Trace.len_at trace tid) in
+          if not (List.mem r !ranges) then ranges := r :: !ranges
+        end
+      end
+    done;
+    let overlaps addr len =
+      List.exists (fun (a, l) -> Infer.overlap addr len a l) !ranges
+    in
+    let cap = 48 in
+    let rev_entries = ref [] in
+    let total = ref 0 in
+    for tid = 0 to upto do
+      let k = Nvm.Trace.kind_at trace tid in
+      if (k = Nvm.Trace.k_store || k = Nvm.Trace.k_flush)
+      && overlaps (Nvm.Trace.addr_at trace tid) (Nvm.Trace.len_at trace tid)
+      then begin
+        incr total;
+        let kind = if k = Nvm.Trace.k_store then "store" else "flush" in
+        rev_entries :=
+          Obs.Jsonx.List
+            [ Obs.Jsonx.Int tid; Obs.Jsonx.Str kind;
+              Obs.Jsonx.Str (Nvm.Sid.to_string (Nvm.Trace.sid_at trace tid));
+              Obs.Jsonx.Int (Nvm.Trace.addr_at trace tid);
+              Obs.Jsonx.Int (Nvm.Trace.len_at trace tid);
+              Obs.Jsonx.Int (Nvm.Trace.op_at trace tid) ]
+          :: !rev_entries
+      end
+    done;
+    (* keep the tail: the events nearest the crash carry the story *)
+    let rec take n l = if n = 0 then [] else
+        match l with [] -> [] | x :: r -> x :: take (n - 1) r
+    in
+    let entries = List.rev (take cap !rev_entries) in
+    ignore
+      (Obs.Event.emit "slice"
+         ~fields:
+           [ ("image", Obs.Jsonx.Int !Obs.Event.last_image_id);
+             ("crash", Obs.Jsonx.Int image.crash_tid);
+             ("entries", Obs.Jsonx.List entries);
+             ("truncated", Obs.Jsonx.Bool (!total > cap)) ])
+  in
   (* Check one image and feed the cluster table; [observe] additionally
      reports the verdict to the pruning registry (pass 1 only). *)
   let check_image ?observe (image : Crash_gen.image) =
     let t0 = Unix.gettimeofday () in
+    let memo_before = (Equiv.stats checker).Equiv.n_memo_hits in
     let verdict =
       Equiv.check ~digest:image.digest checker ~img:image.img
         ~crash_op:image.crash_op
@@ -134,6 +206,36 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
     (match observe with
      | None -> ()
      | Some f -> f image (verdict = Equiv.Consistent));
+    if Obs.Event.enabled () then begin
+      let sig_ =
+        Cluster.signature ~op_kind:op_kind_sids.(image.crash_op) image
+      in
+      let skey = Prune.Path_sig.stable_key sig_ in
+      let memo_hit = (Equiv.stats checker).Equiv.n_memo_hits > memo_before in
+      let fields =
+        [ ("image", Obs.Jsonx.Int !Obs.Event.last_image_id);
+          ("class", Obs.Jsonx.Str skey);
+          ("consistent", Obs.Jsonx.Bool (verdict = Equiv.Consistent));
+          ("memo", Obs.Jsonx.Bool memo_hit);
+          ("prov", Obs.Jsonx.Str !prov) ]
+        @ (match verdict with
+           | Equiv.Consistent -> []
+           | Equiv.Inconsistent v ->
+             [ ("first_diff", Obs.Jsonx.Int v.first_diff);
+               ("got", Obs.Jsonx.Str (Fmt.str "%a" Output.pp v.got));
+               ("expect_committed",
+                Obs.Jsonx.Str (Fmt.str "%a" Output.pp v.expect_committed));
+               ("expect_rolled_back",
+                Obs.Jsonx.Str (Fmt.str "%a" Output.pp v.expect_rolled_back));
+               ("crashed", Obs.Jsonx.Bool v.crashed) ])
+      in
+      ignore (Obs.Event.emit "verdict" ~fields);
+      match verdict with
+      | Equiv.Inconsistent _ when not (Hashtbl.mem slices_done sig_) ->
+        Hashtbl.add slices_done sig_ ();
+        emit_slice image
+      | _ -> ()
+    end;
     (match verdict with
      | Equiv.Consistent -> ()
      | Equiv.Inconsistent _ ->
@@ -157,7 +259,11 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
           let i = ref (-1) in
           let decide (_ : Crash_gen.cand) =
             incr i;
-            if !i mod stride = 0 then `Test else `Defer
+            if !i mod stride = 0 then begin
+              prov := "sample";
+              `Test
+            end
+            else `Defer
           in
           Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
             ~conds ~pool_size:recorded.pool_size ~on_image:check_image ()
@@ -174,8 +280,14 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
              image aliases the live simulator pool and dies at the next
              trace event. *)
           let decide (c : Crash_gen.cand) =
-            Prune.Equiv_class.decide r ~sig_:(sig_of_cand c)
-              ~member:(c.cd_fence_tid, c.cd_key)
+            match
+              Prune.Equiv_class.decide r ~sig_:(sig_of_cand c)
+                ~member:(c.cd_fence_tid, c.cd_key)
+            with
+            | `Test ->
+              prov := Prune.Equiv_class.last_reason r;
+              `Test
+            | `Defer -> `Defer
           in
           let observe image consistent =
             Prune.Equiv_class.observe r
@@ -218,17 +330,25 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
             want
           in
           let wave = ref (next_wave ()) in
+          let tails = Hashtbl.create 16 in
           List.iter
             (fun (_sig, m) ->
-               if not (Hashtbl.mem tested_extra m) then
-                 Hashtbl.replace !wave m ())
+               if not (Hashtbl.mem tested_extra m) then begin
+                 Hashtbl.replace !wave m ();
+                 Hashtbl.replace tails m ()
+               end)
             (Prune.Equiv_class.tail_spots r);
+          let pass = ref 0 in
           while Hashtbl.length !wave > 0 do
+            incr pass;
             let want = !wave in
             let decide (c : Crash_gen.cand) =
               let m = (c.cd_fence_tid, c.cd_key) in
               if Hashtbl.mem want m then begin
                 Hashtbl.replace tested_extra m ();
+                prov :=
+                  (if Hashtbl.mem tails m then "tail"
+                   else "wave:" ^ string_of_int !pass);
                 `Test
               end
               else `Defer
@@ -242,8 +362,9 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
               if !remaining = 0 then `Stop else `Continue
             in
             let stats_w =
-              Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
-                ~conds ~pool_size:recorded.pool_size ~on_image ()
+              Crash_gen.generate ~cfg:cfg.crash ~decide ~pass:!pass
+                ~trace:recorded.trace ~conds ~pool_size:recorded.pool_size
+                ~on_image ()
             in
             expanded_tested := !expanded_tested + stats_w.Crash_gen.tested;
             stats.Crash_gen.tested <-
@@ -296,6 +417,89 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
     Obs.Metrics.incr ~n:images_elided "prune.images_elided";
     Obs.Metrics.incr ~n:prune_expansions "prune.expansions";
     Obs.Metrics.incr ~n:seed_memo_hits "prune.seed_memo_hits"
+  end;
+  (* End-of-run forensics: one `class` event per pruning class, one
+     `cluster` event per failing cluster (flagged when it is a root
+     cause), and a `summary` of the headline counters. *)
+  if Obs.Event.enabled () then begin
+    (match !reg with
+     | Some r ->
+       List.iter
+         (fun (ci : Prune.Equiv_class.info) ->
+            ignore
+              (Obs.Event.emit "class"
+                 ~fields:
+                   [ ("class", Obs.Jsonx.Str ci.i_skey);
+                     ("op_kind",
+                      Obs.Jsonx.Str
+                        (Nvm.Sid.to_string ci.i_sig.Prune.Path_sig.op_kind));
+                     ("path", Obs.Jsonx.Int ci.i_sig.Prune.Path_sig.path);
+                     ("watch",
+                      Obs.Jsonx.Str
+                        (Nvm.Sid.to_string ci.i_sig.Prune.Path_sig.watch));
+                     ("req",
+                      Obs.Jsonx.Str
+                        (Nvm.Sid.to_string ci.i_sig.Prune.Path_sig.req));
+                     ("members", Obs.Jsonx.Int ci.i_members);
+                     ("deferred", Obs.Jsonx.Int ci.i_deferred);
+                     ("spots", Obs.Jsonx.Int ci.i_spots);
+                     ("promoted", Obs.Jsonx.Bool ci.i_promoted);
+                     ("memo_hit", Obs.Jsonx.Bool ci.i_memo_hit);
+                     ("prediction",
+                      match ci.i_prediction with
+                      | None -> Obs.Jsonx.Null
+                      | Some b -> Obs.Jsonx.Bool b) ]))
+         (Prune.Equiv_class.classes_info r)
+     | None -> ());
+    (* one root marker per (kind, watch) — the same notion as
+       [Cluster.root_causes] but picked in the deterministic keyed
+       order, so the event stream never leaks Hashtbl iteration *)
+    let root_seen = Hashtbl.create 8 in
+    List.iter
+      (fun (skey, (rep : Cluster.report)) ->
+         let root =
+           let k = (rep.Cluster.kind, rep.Cluster.watch_sid) in
+           if Hashtbl.mem root_seen k then false
+           else begin
+             Hashtbl.add root_seen k ();
+             true
+           end
+         in
+         ignore
+           (Obs.Event.emit "cluster"
+              ~fields:
+                [ ("class", Obs.Jsonx.Str skey);
+                  ("kind",
+                   Obs.Jsonx.Str
+                     (match rep.kind with
+                      | Cluster.C_ordering -> "C-O"
+                      | Cluster.C_atomicity -> "C-A"));
+                  ("rule", Obs.Jsonx.Str rep.rule);
+                  ("op", Obs.Jsonx.Str rep.op_desc);
+                  ("watch", Obs.Jsonx.Str rep.watch_sid);
+                  ("req", Obs.Jsonx.Str rep.req_sid);
+                  ("count", Obs.Jsonx.Int rep.count);
+                  ("crash", Obs.Jsonx.Int rep.example_crash_tid);
+                  ("first_diff", Obs.Jsonx.Int rep.example_first_diff);
+                  ("got", Obs.Jsonx.Str (Fmt.str "%a" Output.pp rep.example_got));
+                  ("expected",
+                   Obs.Jsonx.Str (Fmt.str "%a" Output.pp rep.example_expected));
+                  ("crashed", Obs.Jsonx.Bool rep.crashed);
+                  ("root", Obs.Jsonx.Bool root) ]))
+      (Cluster.reports_keyed clusters);
+    ignore
+      (Obs.Event.emit "summary"
+         ~fields:
+           [ ("images_generated", Obs.Jsonx.Int stats.generated);
+             ("images_tested", Obs.Jsonx.Int stats.tested);
+             ("images_deferred", Obs.Jsonx.Int images_deferred);
+             ("images_elided", Obs.Jsonx.Int images_elided);
+             ("n_mismatch", Obs.Jsonx.Int !n_mismatch);
+             ("n_clusters", Obs.Jsonx.Int (Cluster.n_clusters clusters));
+             ("memo_hits", Obs.Jsonx.Int estats.Equiv.n_memo_hits);
+             ("oracle_runs", Obs.Jsonx.Int estats.Equiv.n_oracle_runs);
+             ("prune_classes", Obs.Jsonx.Int prune_classes);
+             ("prune_expansions", Obs.Jsonx.Int prune_expansions) ])
   end;
   let n_loads, n_stores, n_flushes, n_fences = Nvm.Trace.stats recorded.trace in
   { name = S.name;

@@ -121,6 +121,14 @@ let rolled_back_oracle t k =
             (fun acc (j, p) -> if j <= k - 1 then Some (j, p) else acc)
             None t.checkpoints
         in
+        let ev_oracle via from_op =
+          if Obs.Event.enabled () then
+            ignore
+              (Obs.Event.emit "oracle"
+                 ~fields:
+                   [ ("op", Obs.Jsonx.Int k); ("via", Obs.Jsonx.Str via);
+                     ("from_op", Obs.Jsonx.Int from_op) ])
+        in
         match ckpt with
         | Some (j, pool) ->
           (try
@@ -130,9 +138,10 @@ let rolled_back_oracle t k =
              in
              t.stats.n_oracle_ops_saved <- t.stats.n_oracle_ops_saved + j;
              Obs.Metrics.incr ~n:j "equiv.oracle_ops_saved";
+             ev_oracle "ckpt" j;
              o
-           with _ -> oracle_full_rerun t k)
-        | None -> oracle_full_rerun t k
+           with _ -> ev_oracle "full" 0; oracle_full_rerun t k)
+        | None -> ev_oracle "full" 0; oracle_full_rerun t k
       end
     in
     Hashtbl.replace t.rolled_back k oracle;
@@ -241,7 +250,10 @@ let check_replay t ~img ~crash_op =
   t.stats.n_replay_ops <- t.stats.n_replay_ops + executed;
   Obs.Metrics.incr "equiv.checks";
   Obs.Metrics.incr ~n:executed "equiv.replay_ops";
-  Obs.Metrics.observe "equiv.replay_len" executed;
+  (* exemplar: links the histogram's max replay back to the image event
+     whose check drove it (the fused pipeline makes the attribution
+     exact); -1 outside an event-logged run *)
+  Obs.Metrics.observe ~ev:!Obs.Event.last_image_id "equiv.replay_len" executed;
   if !c_live || !r_live then begin
     (* Consistent with the oracle never forced: one full oracle run (the
        eager checker's run_quiet for this crash op) was elided. Counted

@@ -22,6 +22,13 @@ type hist_state = {
   mutable h_min : int;
   mutable h_max : int;
   h_buckets : int array;
+  (* max-observation exemplar: the largest value seen and the event-log
+     id ([Event.emit]) active when it was observed, -1 when none. Ties
+     keep the larger event id, so merging per-worker snapshots is
+     order-independent — a "last observation wins" exemplar would not
+     merge deterministically. *)
+  mutable h_ex_v : int;
+  mutable h_ex_ev : int;
 }
 
 type t = {
@@ -77,14 +84,14 @@ let set_gauge ?(m = default) name v =
   | Some r -> r := v
   | None -> Hashtbl.add m.gauges name (ref v)
 
-let observe ?(m = default) name v =
+let observe ?(m = default) ?(ev = -1) name v =
   let h =
     match Hashtbl.find_opt m.hists name with
     | Some h -> h
     | None ->
       let h =
         { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
-          h_buckets = Array.make n_buckets 0 }
+          h_buckets = Array.make n_buckets 0; h_ex_v = min_int; h_ex_ev = -1 }
       in
       Hashtbl.add m.hists name h;
       h
@@ -93,6 +100,10 @@ let observe ?(m = default) name v =
   h.h_sum <- h.h_sum + v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
+  if v > h.h_ex_v || (v = h.h_ex_v && ev > h.h_ex_ev) then begin
+    h.h_ex_v <- v;
+    h.h_ex_ev <- ev
+  end;
   let b = bucket_of v in
   h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
@@ -104,6 +115,9 @@ type hist = {
   min : int;                    (* max_int when count = 0 *)
   max : int;                    (* min_int when count = 0 *)
   buckets : (int * int) list;   (* bucket index -> count, sorted, no zeros *)
+  exemplar : (int * int) option;
+  (* (max value, event id at its observation; -1 if no event sink) —
+     lets `witcher explain` link e.g. the longest replay to its image *)
 }
 
 type snapshot = {
@@ -125,7 +139,8 @@ let snapshot (t : t) =
       if h.h_buckets.(k) > 0 then buckets := (k, h.h_buckets.(k)) :: !buckets
     done;
     { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
-      buckets = !buckets }
+      buckets = !buckets;
+      exemplar = (if h.h_count = 0 then None else Some (h.h_ex_v, h.h_ex_ev)) }
   in
   { counters = sorted_bindings t.counters (fun r -> !r);
     gauges = sorted_bindings t.gauges (fun r -> !r);
@@ -147,7 +162,13 @@ let merge_hist a b =
     sum = a.sum + b.sum;
     min = Stdlib.min a.min b.min;
     max = Stdlib.max a.max b.max;
-    buckets = merge_assoc ( + ) a.buckets b.buckets }
+    buckets = merge_assoc ( + ) a.buckets b.buckets;
+    exemplar =
+      (* lexicographic max over (value, event id): associative,
+         commutative, and equal to what one process would have kept *)
+      (match (a.exemplar, b.exemplar) with
+       | None, e | e, None -> e
+       | Some x, Some y -> Some (Stdlib.max x y)) }
 
 let merge a b =
   { counters = merge_assoc ( + ) a.counters b.counters;
@@ -192,15 +213,19 @@ let quantile h q =
 
 let hist_to_json h =
   Jsonx.Obj
-    [ ("count", Jsonx.Int h.count);
-      ("sum", Jsonx.Int h.sum);
-      ("min", Jsonx.Int (if h.count = 0 then 0 else h.min));
-      ("max", Jsonx.Int (if h.count = 0 then 0 else h.max));
-      ("buckets",
-       Jsonx.List
-         (List.map
-            (fun (k, n) -> Jsonx.List [ Jsonx.Int k; Jsonx.Int n ])
-            h.buckets)) ]
+    ([ ("count", Jsonx.Int h.count);
+       ("sum", Jsonx.Int h.sum);
+       ("min", Jsonx.Int (if h.count = 0 then 0 else h.min));
+       ("max", Jsonx.Int (if h.count = 0 then 0 else h.max));
+       ("buckets",
+        Jsonx.List
+          (List.map
+             (fun (k, n) -> Jsonx.List [ Jsonx.Int k; Jsonx.Int n ])
+             h.buckets)) ]
+     @ (match h.exemplar with
+        | None -> []
+        | Some (v, ev) ->
+          [ ("exemplar", Jsonx.List [ Jsonx.Int v; Jsonx.Int ev ]) ]))
 
 let to_json s =
   Jsonx.Obj
@@ -230,7 +255,14 @@ let hist_of_json j =
     sum = Jsonx.int_field j "sum";
     min = (if count = 0 then max_int else Jsonx.int_field j "min");
     max = (if count = 0 then min_int else Jsonx.int_field j "max");
-    buckets = List.sort compare buckets }
+    buckets = List.sort compare buckets;
+    exemplar =
+      (match Jsonx.member "exemplar" j with
+       | Some (Jsonx.List [ v; ev ]) ->
+         (match (Jsonx.to_int_opt v, Jsonx.to_int_opt ev) with
+          | Some v, Some ev -> Some (v, ev)
+          | _ -> None)
+       | _ -> None) }
 
 let of_json j =
   let obj_bindings name =

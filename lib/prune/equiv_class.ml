@@ -30,11 +30,17 @@ type 'a t = {
   mutable n_deferred : int;
   mutable n_memo_hits : int;
   mutable n_promoted : int;
+  mutable last_reason : string;
+  (* why the most recent [decide] said `Test: "rep" | "spot" |
+     "inline-expand". Generation is pipeline-fused (the decided image is
+     checked before the next decide), so the engine reads this as the
+     verdict's provenance tag for the event log. *)
 }
 
 let create ?(expand = Expand.default) ?(memo = fun _ -> None) () =
   { classes = Hashtbl.create 256; expand; memo; n_reps = 0;
-    n_inline_expanded = 0; n_deferred = 0; n_memo_hits = 0; n_promoted = 0 }
+    n_inline_expanded = 0; n_deferred = 0; n_memo_hits = 0; n_promoted = 0;
+    last_reason = "" }
 
 let defer t c member =
   c.deferred <- member :: c.deferred;
@@ -63,6 +69,7 @@ let decide t ~sig_ ~member =
     end
     else begin
       t.n_reps <- t.n_reps + 1;
+      t.last_reason <- "rep";
       `Test
     end
   | Some c ->
@@ -70,12 +77,14 @@ let decide t ~sig_ ~member =
     c.n_members <- m + 1;
     if c.promoted then begin
       t.n_inline_expanded <- t.n_inline_expanded + 1;
+      t.last_reason <- "inline-expand";
       `Test
     end
     else if Expand.want_spot t.expand ~member_index:m ~spots_used:c.spots_used
     then begin
       c.spots_used <- c.spots_used + 1;
       t.n_reps <- t.n_reps + 1;
+      t.last_reason <- "spot";
       `Test
     end
     else defer t c member
@@ -83,7 +92,13 @@ let decide t ~sig_ ~member =
 let promote t c =
   if not c.promoted then begin
     c.promoted <- true;
-    t.n_promoted <- t.n_promoted + 1
+    t.n_promoted <- t.n_promoted + 1;
+    if Obs.Event.enabled () then
+      ignore
+        (Obs.Event.emit "promote"
+           ~fields:
+             [ ("class", Obs.Jsonx.Str c.skey);
+               ("members", Obs.Jsonx.Int c.n_members) ])
   end
 
 (* Feed back the verdict of a member [decide] said to test. *)
@@ -132,6 +147,33 @@ let outcomes t =
        | Some p -> (c.skey, p && not c.promoted) :: acc)
     t.classes []
   |> List.sort compare
+
+(* Per-class forensics for the end-of-run `class` events: everything the
+   registry knows about a class, in stable-key order (deterministic
+   event streams need a deterministic fold). *)
+type info = {
+  i_skey : string;
+  i_sig : Path_sig.t;
+  i_members : int;
+  i_deferred : int;
+  i_spots : int;
+  i_promoted : bool;
+  i_memo_hit : bool;
+  i_prediction : bool option;
+}
+
+let classes_info t =
+  Hashtbl.fold
+    (fun _ c acc ->
+       { i_skey = c.skey; i_sig = c.sig_; i_members = c.n_members;
+         i_deferred = List.length c.deferred; i_spots = c.spots_used;
+         i_promoted = c.promoted; i_memo_hit = c.memo_hit;
+         i_prediction = c.prediction }
+       :: acc)
+    t.classes []
+  |> List.sort (fun a b -> compare a.i_skey b.i_skey)
+
+let last_reason t = t.last_reason
 
 let n_classes t = Hashtbl.length t.classes
 let n_reps t = t.n_reps

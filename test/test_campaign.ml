@@ -264,6 +264,44 @@ let test_preprune_journal_compat () =
   Alcotest.(check int) "no class outcomes harvested" 0
     (C.Seed_memo.n_classes (C.Seed_memo.of_records records))
 
+(* Journals written before the forensics event log (no --events, no
+   events.jsonl next to them) must still parse, aggregate, and explain:
+   `witcher explain` degrades to the journal's bug reports plus an
+   explicit "no event data" note rather than failing. *)
+let test_preevent_journal_compat () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let s = spec "level-hash" in
+  let line =
+    {|{"key":"|} ^ C.Job.key s
+    ^ {|","job":{"store":"level-hash","variant":"buggy","seed":1,"n_ops":40,"max_images":200},"status":"ok","t_wall":1.5,"result":{"store":"level-hash","c_o":1,"c_a":0,"images_tested":120,"n_mismatch":9,"t_gen":0.4,"t_equiv":0.6,"bug_reports":[{"kind":"C-O","rule":"PO3","op":"insert","watch_sid":"lh:insert.token","req_sid":"lh:insert.key","count":4}]}}|}
+  in
+  let oc = open_out path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  (* still a valid journal for aggregate/resume *)
+  let records = C.Journal.load path in
+  Alcotest.(check int) "pre-event line parses" 1 (List.length records);
+  let agg = C.Aggregate.of_records records in
+  Alcotest.(check int) "bug counts aggregate" 1 agg.total.c_o;
+  (* explain the bare journal file and the directory holding it: both
+     resolve to the degraded journal-only source *)
+  List.iter
+    (fun input ->
+       match C.Explain.load input with
+       | Error e -> Alcotest.fail ("explain rejected pre-event input: " ^ e)
+       | Ok source ->
+         (match source with
+          | C.Explain.Journal_only _ -> ()
+          | C.Explain.Events _ ->
+            Alcotest.fail "journal misread as an event stream");
+         let txt = C.Explain.render_text source in
+         Alcotest.(check bool) "degradation note present" true
+           (contains txt "no event data");
+         Alcotest.(check bool) "bug report line present" true
+           (contains txt "lh:insert.token"))
+    [ path; dir ]
+
 (* ---------- fault isolation (fake stores, custom run_job) ---------- *)
 
 let status_of records store =
@@ -449,6 +487,8 @@ let suite =
       test_preoracle_journal_compat;
     Alcotest.test_case "pre-prune journal still aggregates" `Quick
       test_preprune_journal_compat;
+    Alcotest.test_case "pre-event journal still explains" `Quick
+      test_preevent_journal_compat;
     Alcotest.test_case "failing job isolated from siblings" `Quick
       test_failing_job_isolated;
     Alcotest.test_case "livelocked job killed at deadline" `Quick

@@ -1,0 +1,208 @@
+(* Forensics tests (ISSUE 8): the event log and `witcher explain`.
+
+   - Golden file: the explain text for the seeded level-hash bug is
+     byte-stable — events carry no timestamps, so the whole log is a
+     pure function of (store, seed, config).
+   - qcheck property: every verdict event's provenance chain (verdict ->
+     image -> condition, cluster -> verdict) resolves, across registry
+     stores at random seeds and both exhaustive and representative
+     pruning.
+   - Acceptance: on level-hash / fast-fair / cceh at the default 200-op
+     config, explain reconstructs a full chain for every reported bug
+     purely from the on-disk event file — no re-execution. *)
+
+module W = Witcher
+module C = Campaign
+module R = Stores.Registry
+
+let tmp_file () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "witcher-explain-%d-%d.jsonl" (Unix.getpid ())
+       (Random.bits ()))
+
+let engine_cfg ?(n_ops = 60) ?(seed = 42) ?(max_images = 400)
+    ?(prune = Prune.Policy.Exhaustive) () =
+  { W.Engine.default_cfg with
+    workload = { W.Workload.default with n_ops; seed };
+    crash = { W.Crash_gen.default_cfg with max_images };
+    prune }
+
+(* Run the pipeline with the event sink on; return (result, items). *)
+let run_with_events ?path cfg instance =
+  Obs.Event.start ?path ();
+  let r = W.Engine.run ~cfg instance in
+  let items = Obs.Event.stop () in
+  (r, items)
+
+(* ---------- golden explain text ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_explain () =
+  let path = tmp_file () in
+  let _, _ =
+    run_with_events ~path (engine_cfg ()) (Stores.Level_hash.buggy ())
+  in
+  let source =
+    match C.Explain.load path with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let got = C.Explain.render_text source in
+  Sys.remove path;
+  (* cwd is test/ under `dune runtest`, the workspace root under a bare
+     `dune exec` — same dodge as the frontend golden test *)
+  let golden =
+    if Sys.file_exists "golden_explain_level_hash.txt" then
+      "golden_explain_level_hash.txt"
+    else "test/golden_explain_level_hash.txt"
+  in
+  let expect = read_file golden in
+  if got <> expect then begin
+    (* dump the mismatch so a legitimate change can refresh the golden *)
+    let oc = open_out (golden ^ ".new") in
+    output_string oc got;
+    close_out oc;
+    Alcotest.fail
+      "explain text diverged from golden_explain_level_hash.txt (new \
+       output written next to it as .new; promote it if the change is \
+       intended)"
+  end
+
+(* ---------- provenance chains resolve (qcheck) ---------- *)
+
+let prop_chains_resolve =
+  QCheck2.Test.make
+    ~name:"event provenance chains resolve, all stores (seeds)" ~count:3
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       List.for_all
+         (fun (e : R.entry) ->
+            (* alternate pruning policy by seed parity so both the
+               exhaustive and the representative/expansion provenance
+               paths are exercised *)
+            let prune =
+              if seed mod 2 = 0 then Prune.Policy.Exhaustive
+              else Prune.Policy.Representative
+            in
+            let _, items =
+              run_with_events
+                (engine_cfg ~n_ops:40 ~seed ~max_images:200 ~prune ())
+                (e.buggy ())
+            in
+            match C.Explain.check_chains items with
+            | Ok _ -> true
+            | Error msg ->
+              QCheck2.Test.fail_reportf "store %s seed %d: %s" e.name seed
+                msg)
+         R.all)
+
+(* ---------- full-chain acceptance, default config ---------- *)
+
+let test_acceptance_default_config () =
+  List.iter
+    (fun store ->
+       let e =
+         match R.find store with
+         | Some e -> e
+         | None -> Alcotest.fail ("unknown store " ^ store)
+       in
+       let path = tmp_file () in
+       let r, _ =
+         run_with_events ~path
+           { W.Engine.default_cfg with
+             crash = { W.Crash_gen.default_cfg with max_images = 4000 } }
+           (e.buggy ())
+       in
+       (* post-hoc only: everything below comes from the on-disk file *)
+       let source =
+         match C.Explain.load path with
+         | Ok s -> s
+         | Error err -> Alcotest.fail err
+       in
+       Sys.remove path;
+       let runs =
+         match source with
+         | C.Explain.Events runs -> runs
+         | C.Explain.Journal_only _ -> Alcotest.fail "expected event data"
+       in
+       let bugs = C.Explain.bugs runs in
+       Alcotest.(check int)
+         (store ^ ": one bug per reported cluster")
+         (List.length r.all_clusters) (List.length bugs);
+       Alcotest.(check bool)
+         (store ^ ": bugs reported")
+         true
+         (bugs <> []);
+       List.iter
+         (fun b ->
+            let f = C.Explain.resolve b in
+            let present what o =
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s: %s resolved" store
+                   (C.Jsonx.str_field b.C.Explain.b_cluster "class")
+                   what)
+                true (o <> None)
+            in
+            present "verdict" f.C.Explain.f_verdict;
+            present "image" f.C.Explain.f_image;
+            present "cond" f.C.Explain.f_cond;
+            present "slice" f.C.Explain.f_slice)
+         bugs;
+       (* and the renderer accepts every per-bug selection *)
+       List.iteri
+         (fun i _ ->
+            let txt = C.Explain.render_text ~bug:(i + 1) source in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: bug %d renders" store (i + 1))
+              true
+              (String.length txt > 0))
+         bugs)
+    [ "level-hash"; "fast-fair"; "cceh" ]
+
+(* ---------- metrics exemplar links into the event stream ---------- *)
+
+let test_exemplar_links_to_image () =
+  let path = tmp_file () in
+  let _, items =
+    run_with_events ~path (engine_cfg ()) (Stores.Level_hash.buggy ())
+  in
+  Sys.remove path;
+  let m = Obs.Metrics.snapshot Obs.Metrics.default in
+  let h =
+    match List.assoc_opt "equiv.replay_len" m.hists with
+    | Some h -> h
+    | None -> Alcotest.fail "no equiv.replay_len histogram"
+  in
+  match h.exemplar with
+  | None -> Alcotest.fail "replay_len histogram has no exemplar"
+  | Some (v, ev) ->
+    Alcotest.(check int) "exemplar value is the histogram max" h.max v;
+    (* the exemplar's event id must be a tested image in the stream *)
+    let img =
+      List.find_opt
+        (fun j ->
+           C.Jsonx.int_field ~default:(-1) j "i" = ev
+           && C.Jsonx.str_field j "e" = "image")
+        items
+    in
+    (match img with
+     | Some j ->
+       Alcotest.(check string) "exemplar image was materialized" "test"
+         (C.Jsonx.str_field j "action")
+     | None -> Alcotest.fail "exemplar event id is not an image event")
+
+let suite =
+  [ Alcotest.test_case "explain golden text (level-hash)" `Quick
+      test_golden_explain;
+    QCheck_alcotest.to_alcotest prop_chains_resolve;
+    Alcotest.test_case "explain acceptance, default 200-op config" `Slow
+      test_acceptance_default_config;
+    Alcotest.test_case "histogram exemplar links to its image" `Quick
+      test_exemplar_links_to_image ]

@@ -12,4 +12,5 @@ let () =
       ("campaign", Test_campaign.suite);
       ("obs", Test_obs.suite);
       ("frontend", Test_frontend.suite);
-      ("prune", Test_prune.suite) ]
+      ("prune", Test_prune.suite);
+      ("explain", Test_explain.suite) ]
