@@ -264,12 +264,16 @@ let max_images =
   try int_of_string (Sys.getenv "WITCHER_MAX_IMAGES")
   with _ -> W.Crash_gen.default_cfg.max_images
 
+(* Machine-readable rows collected by sections for --json / BENCH.json. *)
+let json_sections : (string * Obs.Jsonx.t) list ref = ref []
+
 let validate () =
   section "Zero-copy validation: COW images + streaming checks vs full-copy replay";
   Printf.printf "%-12s | %8s %8s | %10s %11s %7s | %10s %11s %7s\n"
     "store" "#img" "#mismtch" "legacy(s)" "zerocopy(s)" "speedup"
     "replay-ops" "early-stops" "mat-MB";
   print_endline line;
+  let rows = ref [] in
   List.iter
     (fun name ->
        let e = Option.get (R.find name) in
@@ -335,11 +339,25 @@ let validate () =
          List.length (List.filter (fun (_, d) -> d >= 0) !stream)
        in
        let st = W.Equiv.stats checker in
+       let speedup = if !t_stream > 0. then !t_legacy /. !t_stream else 0. in
        Printf.printf "%-12s | %8d %8d | %10.2f %11.2f %6.2fx | %10d %11d %7.2f\n"
-         name (List.length !stream) mismatches !t_legacy !t_stream
-         (if !t_stream > 0. then !t_legacy /. !t_stream else 0.)
+         name (List.length !stream) mismatches !t_legacy !t_stream speedup
          st.W.Equiv.n_replay_ops st.W.Equiv.n_early_stops
-         (float_of_int gstats.W.Crash_gen.bytes_materialized /. 1024. /. 1024.))
+         (float_of_int gstats.W.Crash_gen.bytes_materialized /. 1024. /. 1024.);
+       rows :=
+         Obs.Jsonx.Obj
+           [ ("store", Obs.Jsonx.Str name);
+             ("images", Obs.Jsonx.Int (List.length !stream));
+             ("mismatches", Obs.Jsonx.Int mismatches);
+             ("legacy_time_s", Obs.Jsonx.Float !t_legacy);
+             ("zerocopy_time_s", Obs.Jsonx.Float !t_stream);
+             ("speedup", Obs.Jsonx.Float speedup);
+             ("replay_ops", Obs.Jsonx.Int st.W.Equiv.n_replay_ops);
+             ("early_stops", Obs.Jsonx.Int st.W.Equiv.n_early_stops);
+             ("bytes_materialized",
+              Obs.Jsonx.Int gstats.W.Crash_gen.bytes_materialized);
+             ("parity", Obs.Jsonx.Bool (!legacy = !stream)) ]
+         :: !rows)
     [ "level-hash"; "fast-fair" ];
   print_endline
     "\n(Both paths must produce identical per-image verdicts; any divergence\n\
@@ -351,7 +369,9 @@ let validate () =
     (fun name ->
        let r = run_store (Option.get (R.find name)) in
        print_endline ("  " ^ W.Report.timing_line r))
-    [ "level-hash"; "fast-fair" ]
+    [ "level-hash"; "fast-fair" ];
+  json_sections :=
+    ("validate", Obs.Jsonx.List (List.rev !rows)) :: !json_sections
 
 (* --- oracle: lazy + checkpointed + memoized checking vs eager legacy --- *)
 
@@ -367,6 +387,7 @@ let oracle () =
   let ckpt_stride = W.Engine.default_cfg.ckpt_stride in
   let fuel = W.Engine.default_cfg.fuel in
   let speedups = ref [] in
+  let rows = ref [] in
   List.iter
     (fun name ->
        let e = Option.get (R.find name) in
@@ -447,7 +468,23 @@ let oracle () =
          stl.W.Equiv.n_oracle_runs sto.W.Equiv.n_oracle_runs
          sto.W.Equiv.n_oracle_ops_saved sto.W.Equiv.n_memo_hits
          (float_of_int (List.length rec_.checkpoints * rec_.pool_size)
-          /. 1024. /. 1024.))
+          /. 1024. /. 1024.);
+       rows :=
+         Obs.Jsonx.Obj
+           [ ("store", Obs.Jsonx.Str name);
+             ("images", Obs.Jsonx.Int (List.length !opt));
+             ("mismatches", Obs.Jsonx.Int mismatches);
+             ("legacy_time_s", Obs.Jsonx.Float !t_legacy);
+             ("optimized_time_s", Obs.Jsonx.Float !t_opt);
+             ("speedup", Obs.Jsonx.Float speedup);
+             ("oracle_runs_legacy", Obs.Jsonx.Int stl.W.Equiv.n_oracle_runs);
+             ("oracle_runs_opt", Obs.Jsonx.Int sto.W.Equiv.n_oracle_runs);
+             ("oracle_ops_saved", Obs.Jsonx.Int sto.W.Equiv.n_oracle_ops_saved);
+             ("memo_hits", Obs.Jsonx.Int sto.W.Equiv.n_memo_hits);
+             ("ckpt_bytes",
+              Obs.Jsonx.Int (List.length rec_.checkpoints * rec_.pool_size));
+             ("parity", Obs.Jsonx.Bool true) ]
+         :: !rows)
     [ "level-hash"; "fast-fair"; "cceh" ];
   let fast =
     List.length (List.filter (fun (_, s) -> s >= 1.5) !speedups)
@@ -455,12 +492,167 @@ let oracle () =
   Printf.printf
     "\n%d/%d stores at >= 1.5x validation-stage speedup (per-image verdicts \
      identical on all).\n"
-    fast (List.length !speedups)
+    fast (List.length !speedups);
+  json_sections :=
+    ("oracle", Obs.Jsonx.List (List.rev !rows)) :: !json_sections
+
+(* --- batch: fence-batched validation vs per-image checking --- *)
+
+let batch () =
+  section
+    "Fence-batched validation: per-image checkers vs one shared batched \
+     checker with verdict inheritance (DESIGN §5)";
+  Printf.printf
+    "%-12s | %6s %8s | %9s %8s %7s | %6s %7s %6s %8s %6s\n"
+    "store" "#img" "#mismtch" "perimg(s)" "batch(s)" "speedup"
+    "#fence" "img/fnc" "#inh" "ops-savd" "#memo";
+  print_endline line;
+  let ckpt_stride = W.Engine.default_cfg.ckpt_stride in
+  let fuel = W.Engine.default_cfg.fuel in
+  let rows = ref [] in
+  let speedups = ref [] in
+  List.iter
+    (fun name ->
+       let e = Option.get (R.find name) in
+       let module S = (val e.buggy ()) in
+       let wl =
+         if S.supports_scan then { W.Workload.default with n_ops }
+         else W.Workload.no_scan { W.Workload.default with n_ops }
+       in
+       let rec_ =
+         W.Driver.record ~ckpt_stride (module S) (W.Workload.generate wl)
+       in
+       let conds = W.Infer.infer rec_.trace in
+       let crash_cfg = { W.Crash_gen.default_cfg with max_images } in
+       let gen on_image =
+         W.Crash_gen.generate ~cfg:crash_cfg ~trace:rec_.trace ~conds
+           ~pool_size:rec_.pool_size ~on_image ()
+       in
+       let key = function
+         | W.Equiv.Consistent -> -1
+         | W.Equiv.Inconsistent d -> d.first_diff
+       in
+       let op_kind_of (img : W.Crash_gen.image) =
+         let op_desc =
+           if img.crash_op = 0 then "create"
+           else W.Op.desc rec_.ops.(img.crash_op - 1)
+         in
+         Nvm.Sid.intern (W.Cluster.op_kind_of_desc op_desc)
+       in
+       (* Pass A — per-image cost model: a FRESH eager checker per image,
+          so every verdict pays its own oracle construction and its own
+          full replay. Nothing — oracles, memo entries, read sets — is
+          shared across images. *)
+       let a_verdicts = ref [] in
+       let cl_a = W.Cluster.create ~store_name:name in
+       let t_a = ref 0. in
+       let a_replay = ref 0 in
+       let _ =
+         gen (fun (img : W.Crash_gen.image) ->
+             let t0 = Unix.gettimeofday () in
+             let checker =
+               W.Equiv.create ~fuel ~lazy_oracle:false ~memo:false (module S)
+                 ~ops:rec_.ops ~committed:rec_.outputs
+             in
+             let v =
+               W.Equiv.check checker ~img:img.img ~crash_op:img.crash_op
+             in
+             t_a := !t_a +. (Unix.gettimeofday () -. t0);
+             a_replay :=
+               !a_replay + (W.Equiv.stats checker).W.Equiv.n_replay_ops;
+             a_verdicts := (img.crash_op, key v) :: !a_verdicts;
+             W.Cluster.add cl_a ~image:img ~op_kind:(op_kind_of img)
+               ~verdict:v;
+             `Continue)
+       in
+       (* Pass B — fence-batched: one shared checker with checkpoints,
+          lazy oracles and the digest memo, plus fence grouping: all
+          images generated at one fence form a group, and a sibling whose
+          extras-delta misses a finished replay's read set inherits that
+          verdict without replaying. *)
+       let checker =
+         W.Equiv.create ~fuel ~checkpoints:rec_.checkpoints (module S)
+           ~ops:rec_.ops ~committed:rec_.outputs
+       in
+       W.Equiv.enable_batch checker ~addr_len:(fun tid ->
+           (Nvm.Trace.addr_at rec_.trace tid, Nvm.Trace.len_at rec_.trace tid));
+       let b_verdicts = ref [] in
+       let cl_b = W.Cluster.create ~store_name:name in
+       let t_b = ref 0. in
+       let _ =
+         gen (fun (img : W.Crash_gen.image) ->
+             let t0 = Unix.gettimeofday () in
+             let v =
+               W.Equiv.check ~digest:img.digest ~fence:img.crash_tid
+                 ~extras:img.extras checker ~img:img.img ~crash_op:img.crash_op
+             in
+             t_b := !t_b +. (Unix.gettimeofday () -. t0);
+             b_verdicts := (img.crash_op, key v) :: !b_verdicts;
+             W.Cluster.add cl_b ~image:img ~op_kind:(op_kind_of img)
+               ~verdict:v;
+             `Continue)
+       in
+       let t0 = Unix.gettimeofday () in
+       W.Equiv.flush_batch checker;
+       t_b := !t_b +. (Unix.gettimeofday () -. t0);
+       (* Hard parity: batching must be invisible in the verdicts — the
+          per-image verdict sequence (crash op + first divergent output)
+          and the clustered bug reports must be bit-identical. *)
+       if List.rev !a_verdicts <> List.rev !b_verdicts then
+         failwith
+           (Printf.sprintf
+              "bench batch: %s verdict sequences differ between per-image \
+               and fence-batched checking" name);
+       if W.Cluster.reports cl_a <> W.Cluster.reports cl_b then
+         failwith
+           (Printf.sprintf
+              "bench batch: %s cluster reports differ between per-image and \
+               fence-batched checking" name);
+       let mismatches =
+         List.length (List.filter (fun (_, d) -> d >= 0) !b_verdicts)
+       in
+       let st = W.Equiv.stats checker in
+       let speedup = if !t_b > 0. then !t_a /. !t_b else 0. in
+       speedups := (name, speedup) :: !speedups;
+       let per_fence =
+         if st.W.Equiv.n_batch_fences = 0 then 0.
+         else
+           float_of_int st.W.Equiv.n_batch_images
+           /. float_of_int st.W.Equiv.n_batch_fences
+       in
+       Printf.printf
+         "%-12s | %6d %8d | %9.2f %8.2f %6.2fx | %6d %7.1f %6d %8d %6d\n"
+         name (List.length !b_verdicts) mismatches !t_a !t_b speedup
+         st.W.Equiv.n_batch_fences per_fence st.W.Equiv.n_inherit_hits
+         st.W.Equiv.n_inherit_ops_saved st.W.Equiv.n_memo_hits;
+       rows :=
+         Obs.Jsonx.Obj
+           [ ("store", Obs.Jsonx.Str name);
+             ("images", Obs.Jsonx.Int (List.length !b_verdicts));
+             ("mismatches", Obs.Jsonx.Int mismatches);
+             ("per_image_time_s", Obs.Jsonx.Float !t_a);
+             ("batched_time_s", Obs.Jsonx.Float !t_b);
+             ("speedup", Obs.Jsonx.Float speedup);
+             ("per_image_replay_ops", Obs.Jsonx.Int !a_replay);
+             ("batched_replay_ops", Obs.Jsonx.Int st.W.Equiv.n_replay_ops);
+             ("batch_fences", Obs.Jsonx.Int st.W.Equiv.n_batch_fences);
+             ("batch_images", Obs.Jsonx.Int st.W.Equiv.n_batch_images);
+             ("inherit_hits", Obs.Jsonx.Int st.W.Equiv.n_inherit_hits);
+             ("inherit_ops_saved",
+              Obs.Jsonx.Int st.W.Equiv.n_inherit_ops_saved);
+             ("memo_hits", Obs.Jsonx.Int st.W.Equiv.n_memo_hits);
+             ("parity", Obs.Jsonx.Bool true) ]
+         :: !rows)
+    [ "level-hash"; "fast-fair"; "cceh"; "wort"; "b-tree" ];
+  let fast = List.length (List.filter (fun (_, s) -> s >= 1.5) !speedups) in
+  Printf.printf
+    "\n%d/%d stores at >= 1.5x checking speedup (per-image verdict sequence \
+     and cluster reports identical on all).\n"
+    fast (List.length !speedups);
+  json_sections :=
+    ("batch", Obs.Jsonx.List (List.rev !rows)) :: !json_sections
 
 (* --- frontend: interned sids + SoA trace + indexed lookup vs reference --- *)
-
-(* Machine-readable rows collected by sections for --json / BENCH.json. *)
-let json_sections : (string * Obs.Jsonx.t) list ref = ref []
 
 let frontend_reps =
   try int_of_string (Sys.getenv "WITCHER_FRONTEND_REPS") with _ -> 3
@@ -686,6 +878,10 @@ let prune () =
   let cluster_keys rs = List.sort_uniq compare (List.map cluster_key rs) in
   let baseline_200 = ref 0. in
   let worst_rep = ref 0. in
+  let n_min = List.fold_left min (List.hd prune_ops) prune_ops in
+  (* Representative results at the smallest op count, kept as the
+     baseline for the --sig-depth elision-delta sub-report below. *)
+  let base_for_sig = ref [] in
   List.iter
     (fun name ->
        let e = Option.get (R.find name) in
@@ -749,6 +945,7 @@ let prune () =
               else 100. *. float_of_int n_cl_common /. float_of_int n_cl_ex
             in
             if n = 200 then baseline_200 := max !baseline_200 t_ex;
+            if n = n_min then base_for_sig := (name, rp) :: !base_for_sig;
             if n = List.fold_left max 0 prune_ops then
               worst_rep := max !worst_rep t_rp;
             let total = rp.images_tested + rp.images_elided in
@@ -797,8 +994,68 @@ let prune () =
      \ logarithmic and tail spot checks, and re-expands a class\n\
      \ exhaustively when any verdict diverges; recall%% reports how many\n\
      \ of exhaustive's path-level clusters survive the pruning.)";
+  (* Sub-report: truncated path signatures (--sig-depth K). Hashing only
+     the crashing op's last K sites merges more images per class. The
+     divergence-driven expansion safety net stays on, but it only fires
+     on *validated* members — on short-path stores (cceh) a coarse class
+     can hide a divergent elided member, so found-bug parity is reported
+     per row rather than asserted: the delta IS the measurement, and the
+     reason --sig-depth defaults to 0. *)
+  let sig_depth =
+    try int_of_string (Sys.getenv "WITCHER_SIG_DEPTH") with _ -> 4
+  in
+  Printf.printf
+    "\nTruncated path signatures (--sig-depth %d vs full path, %d ops, \
+     Representative):\n"
+    sig_depth n_min;
+  Printf.printf "%-12s | %6s %6s | %7s %7s %7s | %6s | %s\n"
+    "store" "cls-0" "cls-K" "elide-0" "elide-K" "delta" "#expnd" "parity";
+  let sig_rows = ref [] in
+  List.iter
+    (fun (name, (rp0 : W.Engine.result)) ->
+       let e = Option.get (R.find name) in
+       let cfg =
+         { W.Engine.default_cfg with
+           workload = { W.Workload.default with n_ops = n_min };
+           crash; prune = Prune.Policy.Representative; sig_depth }
+       in
+       let rk = W.Engine.run ~cfg (e.buggy ()) in
+       let elide (r : W.Engine.result) =
+         let total = r.images_tested + r.images_elided in
+         if total = 0 then 0.
+         else 100. *. float_of_int r.images_elided /. float_of_int total
+       in
+       let parity =
+         keys rp0.all_clusters = keys rk.all_clusters
+         && (rp0.c_o, rp0.c_a) = (rk.c_o, rk.c_a)
+       in
+       Printf.printf
+         "%-12s | %6d %6d | %6.1f%% %6.1f%% %+6.1f%% | %6d | %s\n"
+         name rp0.prune_classes rk.prune_classes (elide rp0) (elide rk)
+         (elide rk -. elide rp0) rk.prune_expansions
+         (if parity then "ok" else "FAIL");
+       sig_rows :=
+         Obs.Jsonx.Obj
+           [ ("store", Obs.Jsonx.Str name);
+             ("n_ops", Obs.Jsonx.Int n_min);
+             ("sig_depth", Obs.Jsonx.Int sig_depth);
+             ("classes_full", Obs.Jsonx.Int rp0.prune_classes);
+             ("classes_truncated", Obs.Jsonx.Int rk.prune_classes);
+             ("elide_pct_full", Obs.Jsonx.Float (elide rp0));
+             ("elide_pct_truncated", Obs.Jsonx.Float (elide rk));
+             ("elide_pct_delta", Obs.Jsonx.Float (elide rk -. elide rp0));
+             ("expansions", Obs.Jsonx.Int rk.prune_expansions);
+             ("parity", Obs.Jsonx.Bool parity) ]
+         :: !sig_rows)
+    (List.rev !base_for_sig);
+  print_endline
+    "(sig-depth trades recall for elision: a FAIL row means the coarse\n\
+     \ signature hid a divergent elided member — expected on short-path\n\
+     \ stores, and why --sig-depth defaults to 0/full.)";
   json_sections :=
-    ("prune", Obs.Jsonx.List (List.rev !rows)) :: !json_sections
+    ("prune_sig_depth", Obs.Jsonx.List (List.rev !sig_rows))
+    :: ("prune", Obs.Jsonx.List (List.rev !rows))
+    :: !json_sections
 
 (* --- Bechamel micro-benchmarks: pipeline stage costs --- *)
 
@@ -861,7 +1118,8 @@ let sections =
   [ "table1", table1; "table2", table2; "table3", table3; "table4", table4;
     "table5", table5; "fig4", fig4; "random", random_baseline;
     "compare", compare_tools; "nonkv", nonkv; "validate", validate;
-    "oracle", oracle; "frontend", frontend; "prune", prune; "micro", micro ]
+    "oracle", oracle; "batch", batch; "frontend", frontend; "prune", prune;
+    "micro", micro ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -87,6 +87,25 @@ let no_memo_arg =
                  tested crash image even when its content digest matches an \
                  already-checked image at the same crash point.")
 
+let no_batch_arg =
+  let open Cmdliner in
+  Arg.(value & flag
+       & info [ "no-batch" ]
+           ~doc:"Check each crash image with an independent replay instead \
+                 of batching the images generated at one fence and \
+                 inheriting verdicts across read-set-disjoint siblings.")
+
+let sig_depth_arg =
+  let open Cmdliner in
+  Arg.(value & opt int W.Engine.default_cfg.sig_depth
+       & info [ "sig-depth" ] ~docv:"K"
+           ~doc:"Truncate the pruning path signature to the crashing \
+                 operation's last $(docv) executed sites (0 = full path, \
+                 the default). Coarser signatures merge more images into \
+                 each equivalence class; divergence-driven expansion stays \
+                 on as the safety net. Only affects non-exhaustive \
+                 $(b,--prune) policies.")
+
 let ckpt_stride_arg =
   let open Cmdliner in
   Arg.(value & opt int W.Engine.default_cfg.ckpt_stride
@@ -139,14 +158,16 @@ let lookup name =
 
 let engine_cfg ?(lazy_oracle = W.Engine.default_cfg.lazy_oracle)
     ?(memo = W.Engine.default_cfg.memo)
+    ?(batch = W.Engine.default_cfg.batch)
     ?(ckpt_stride = W.Engine.default_cfg.ckpt_stride)
     ?(prune = W.Engine.default_cfg.prune)
-    ?(expand_budget = W.Engine.default_cfg.expand_budget) ~ops ~seed
+    ?(expand_budget = W.Engine.default_cfg.expand_budget)
+    ?(sig_depth = W.Engine.default_cfg.sig_depth) ~ops ~seed
     ~max_images () =
   { W.Engine.default_cfg with
     workload = { W.Workload.default with n_ops = ops; seed };
     crash = { W.Crash_gen.default_cfg with max_images };
-    lazy_oracle; memo; ckpt_stride; prune; expand_budget }
+    lazy_oracle; memo; batch; ckpt_stride; prune; expand_budget; sig_depth }
 
 let list_cmd json =
   if json then begin
@@ -175,13 +196,14 @@ let list_cmd json =
   end;
   0
 
-let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
-    prune expand_budget verbose json trace_out events =
+let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo no_batch
+    ckpt_stride prune expand_budget sig_depth verbose json trace_out events =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
   let cfg =
     engine_cfg ~lazy_oracle:(not no_lazy_oracle) ~memo:(not no_memo)
-      ~ckpt_stride ~prune ~expand_budget ~ops ~seed ~max_images ()
+      ~batch:(not no_batch) ~ckpt_stride ~prune ~expand_budget ~sig_depth
+      ~ops ~seed ~max_images ()
   in
   (* the event sink also powers the -v per-bug footer, so verbose runs
      record even without --events (to memory only) *)
@@ -220,6 +242,7 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo ckpt_stride
     (match r.prune_policy with
      | Prune.Policy.Exhaustive -> ()
      | _ -> print_endline (W.Report.prune_line r));
+    if verbose && r.batch_on then print_endline (W.Report.batch_line r);
     print_newline ();
     if r.bug_reports = [] then
       print_endline "No crash-consistency bugs detected."
@@ -375,9 +398,9 @@ let run_man =
 let list_t = Term.(const list_cmd $ json_arg)
 let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
-        $ max_images_arg $ no_lazy_oracle_arg $ no_memo_arg $ ckpt_stride_arg
-        $ prune_arg $ expand_budget_arg $ verbose_arg $ json_arg
-        $ trace_out_arg $ events_arg)
+        $ max_images_arg $ no_lazy_oracle_arg $ no_memo_arg $ no_batch_arg
+        $ ckpt_stride_arg $ prune_arg $ expand_budget_arg $ sig_depth_arg
+        $ verbose_arg $ json_arg $ trace_out_arg $ events_arg)
 
 let campaign_t =
   let j =

@@ -23,6 +23,9 @@ type row = {
   oracle_ops_saved : int;   (* oracle ops elided by laziness/checkpoints *)
   memo_hits : int;          (* verdicts served from the digest memo *)
   ckpt_bytes : int;         (* record-time checkpoint memory *)
+  batch_fences : int;       (* fence groups opened by batched checking *)
+  inherit_hits : int;       (* verdicts inherited from a fence sibling *)
+  batch_saved : int;        (* replay ops inherited verdicts skipped *)
   prune_classes : int;      (* path-signature equivalence classes *)
   prune_reps : int;         (* representatives + spot-checks validated *)
   images_elided : int;      (* images never validated thanks to pruning *)
@@ -46,7 +49,8 @@ let empty_row store variant =
   { store; variant; jobs = 0; ok = 0; failed = 0; timeout = 0; c_o = 0;
     c_a = 0; p_u = 0; p_efl = 0; p_efe = 0; p_el = 0; images_tested = 0;
     n_mismatch = 0; replay_ops = 0; bytes_materialized = 0; oracle_runs = 0;
-    oracle_ops_saved = 0; memo_hits = 0; ckpt_bytes = 0; prune_classes = 0;
+    oracle_ops_saved = 0; memo_hits = 0; ckpt_bytes = 0; batch_fences = 0;
+    inherit_hits = 0; batch_saved = 0; prune_classes = 0;
     prune_reps = 0; images_elided = 0; prune_expansions = 0;
     seed_memo_hits = 0; t_equiv = 0.; wall = 0. }
 
@@ -64,6 +68,13 @@ let add_record row (r : Journal.record) =
     match Option.bind counts (Jsonx.member "prune") with
     | None -> 0
     | Some pj -> Jsonx.int_field pj k
+  in
+  (* nested under "batch"; absent in batch-off runs and every pre-batch
+     journal, which aggregate as zeros *)
+  let b k =
+    match Option.bind counts (Jsonx.member "batch") with
+    | None -> 0
+    | Some bj -> Jsonx.int_field bj k
   in
   { row with
     jobs = row.jobs + 1;
@@ -87,6 +98,9 @@ let add_record row (r : Journal.record) =
     oracle_ops_saved = row.oracle_ops_saved + f "oracle_ops_saved";
     memo_hits = row.memo_hits + f "memo_hits";
     ckpt_bytes = row.ckpt_bytes + f "ckpt_bytes";
+    batch_fences = row.batch_fences + b "fences";
+    inherit_hits = row.inherit_hits + b "inherit_hits";
+    batch_saved = row.batch_saved + b "replay_ops_saved";
     prune_classes = row.prune_classes + p "classes";
     prune_reps = row.prune_reps + p "reps";
     images_elided = row.images_elided + p "elided";
@@ -136,6 +150,9 @@ let of_records (records : Journal.record list) =
            oracle_ops_saved = acc.oracle_ops_saved + row.oracle_ops_saved;
            memo_hits = acc.memo_hits + row.memo_hits;
            ckpt_bytes = acc.ckpt_bytes + row.ckpt_bytes;
+           batch_fences = acc.batch_fences + row.batch_fences;
+           inherit_hits = acc.inherit_hits + row.inherit_hits;
+           batch_saved = acc.batch_saved + row.batch_saved;
            prune_classes = acc.prune_classes + row.prune_classes;
            prune_reps = acc.prune_reps + row.prune_reps;
            images_elided = acc.images_elided + row.images_elided;
@@ -155,21 +172,22 @@ let status_cell row =
   else Printf.sprintf "%dF/%dT" row.failed row.timeout
 
 let row_line row =
-  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f | %7d %8d %6d | %5d %5d %7d %6d | %8.1f | %8.1f"
+  Printf.sprintf "%-16s %-6s | %4d %4d %6s | %4d %4d | %4d %5d %5d %4d | %8d %8d | %8d %7.2f | %7d %8d %6d | %5d %8d | %5d %5d %7d %6d | %8.1f | %8.1f"
     row.store
     (if row.store = "TOTAL" then "" else Job.variant_name row.variant)
     row.jobs row.ok (status_cell row) row.c_o row.c_a row.p_u row.p_efl
     row.p_efe row.p_el row.images_tested row.n_mismatch row.replay_ops
     (float_of_int row.bytes_materialized /. 1024. /. 1024.)
     row.oracle_runs row.oracle_ops_saved row.memo_hits
+    row.inherit_hits row.batch_saved
     row.prune_classes row.prune_reps row.images_elided row.prune_expansions
     row.t_equiv row.wall
 
 let header () =
-  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s | %7s %8s %6s | %5s %5s %7s %6s | %8s | %8s"
+  Printf.sprintf "%-16s %-6s | %4s %4s %6s | %4s %4s | %4s %5s %5s %4s | %8s %8s | %8s %7s | %7s %8s %6s | %5s %8s | %5s %5s %7s %6s | %8s | %8s"
     "store" "var" "jobs" "ok" "status" "C-O" "C-A" "P-U" "P-EFL" "P-EFE"
     "P-EL" "#img-tst" "#mismtch" "#replay" "mat-MB" "#oracle" "#o-saved"
-    "#memo" "#cls" "#rep" "#elide" "#expnd" "equiv(s)" "wall(s)"
+    "#memo" "#inh" "#i-saved" "#cls" "#rep" "#elide" "#expnd" "equiv(s)" "wall(s)"
 
 (* [elapsed] is the campaign's real wall-clock; the speedup line compares
    it against running every job back to back on one core. *)
@@ -224,6 +242,9 @@ let row_json row =
       ("oracle_ops_saved", Jsonx.Int row.oracle_ops_saved);
       ("memo_hits", Jsonx.Int row.memo_hits);
       ("ckpt_bytes", Jsonx.Int row.ckpt_bytes);
+      ("batch_fences", Jsonx.Int row.batch_fences);
+      ("inherit_hits", Jsonx.Int row.inherit_hits);
+      ("batch_saved", Jsonx.Int row.batch_saved);
       ("prune_classes", Jsonx.Int row.prune_classes);
       ("prune_reps", Jsonx.Int row.prune_reps);
       ("images_elided", Jsonx.Int row.images_elided);

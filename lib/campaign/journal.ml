@@ -72,6 +72,19 @@ let prune_json (r : W.Engine.result) =
                     Jsonx.Obj [ ("k", Jsonx.Str k); ("ok", Jsonx.Bool ok) ])
                  r.class_outcomes)) ]) ]
 
+(* Batch block, emitted only when fence-batched checking ran: batch-off
+   results stay byte-identical to pre-batch journals, and pre-batch
+   journals (no "batch" member) keep parsing and aggregating as zeros. *)
+let batch_json (r : W.Engine.result) =
+  if not r.batch_on then []
+  else
+    [ ("batch",
+       Jsonx.Obj
+         [ ("fences", Jsonx.Int r.batch_fences);
+           ("images", Jsonx.Int r.batch_images);
+           ("inherit_hits", Jsonx.Int r.inherit_hits);
+           ("replay_ops_saved", Jsonx.Int r.inherit_ops_saved) ]) ]
+
 let result_json (r : W.Engine.result) =
   Jsonx.Obj
     ([ ("store", Jsonx.Str r.name);
@@ -115,7 +128,7 @@ let result_json (r : W.Engine.result) =
       (* pre-split readers summed generation + checking as t_check; keep
          emitting it so old tooling can read new journals *)
       ("t_check", Jsonx.Float (r.t_gen +. r.t_equiv)) ]
-     @ prune_json r)
+     @ batch_json r @ prune_json r)
 
 (* ---------- records ---------- *)
 

@@ -61,6 +61,10 @@ type image = {
   crash_op : int;    (* trace op index containing the crash *)
   viol : violation;
   path_hash : int;   (* execution path of the crashed op up to the crash *)
+  path_sig : int;    (* path digest truncated to the last [sig_depth] sites;
+                        equals [path_hash] at the default depth 0 *)
+  extras : int array;  (* sorted store tids persisted beyond the guaranteed
+                          base; drives fence-batched verdict inheritance *)
   digest : int;      (* 64-bit content digest; keys the verdict memo *)
 }
 
@@ -85,6 +89,7 @@ type cand = {
   cd_key : int;         (* hash of the extra persist-set; 0 = baseline *)
   cd_viol : violation;
   cd_path_hash : int;
+  cd_path_sig : int;    (* truncated path digest, see [image.path_sig] *)
 }
 
 type cfg = {
@@ -103,8 +108,14 @@ type epoch_cand =
    pruning classes digest identically (and stably across processes). *)
 let path_hash_step = Prune.Path_sig.step
 
+(* [sig_depth] > 0 truncates the per-image path digest to the op's last
+   [sig_depth] load/store sites: long-path ops (rehashes, splits) whose
+   tails agree then share a pruning class even when their prefixes differ.
+   Only the pruning signature coarsens — [path_hash], and so cluster keys,
+   always digest the full path. Depth 0 (default) keeps both identical. *)
 let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
-    ?(pass = 0) ~trace ~(conds : Infer.t) ~pool_size ~on_image () =
+    ?(pass = 0) ?(sig_depth = 0) ~trace ~(conds : Infer.t) ~pool_size
+    ~on_image () =
   let sim = Crash_sim.create ~trace ~pool_size in
   let stats =
     { candidates = 0; generated = 0; eligible = 0; deferred = 0; tested = 0;
@@ -131,6 +142,33 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
   let site_count : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
   let img_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let path_hash = ref 0 in
+  (* Per-op window of load/store sids backing the truncated signature.
+     Maintained only when sig_depth > 0; [cur_sig] is refreshed once per
+     fence (the only points that mint images). *)
+  let op_sites = ref (Array.make 64 0) in
+  let op_nsites = ref 0 in
+  let push_site sid =
+    if !op_nsites >= Array.length !op_sites then begin
+      let b = Array.make (2 * Array.length !op_sites) 0 in
+      Array.blit !op_sites 0 b 0 !op_nsites;
+      op_sites := b
+    end;
+    !op_sites.(!op_nsites) <- sid;
+    incr op_nsites
+  in
+  let cur_sig = ref 0 in
+  let refresh_sig () =
+    if sig_depth <= 0 then cur_sig := !path_hash
+    else begin
+      let n = !op_nsites in
+      let start = if n > sig_depth then n - sig_depth else 0 in
+      let h = ref 0 in
+      for i = start to n - 1 do
+        h := path_hash_step !h !op_sites.(i)
+      done;
+      cur_sig := !h
+    end
+  in
   let stop = ref false in
   let bump_op_count op =
     Hashtbl.replace stats.per_op_images op
@@ -233,7 +271,8 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
             match
               decide
                 { cd_fence_tid = fence_tid; cd_crash_op = op; cd_key = ekey;
-                  cd_viol = viol; cd_path_hash = !path_hash }
+                  cd_viol = viol; cd_path_hash = !path_hash;
+                  cd_path_sig = !cur_sig }
             with
             | `Defer ->
               stats.deferred <- stats.deferred + 1;
@@ -247,7 +286,8 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
                 ~digest:(Some digest);
               let image =
                 { img; crash_tid = fence_tid; crash_op = op; viol;
-                  path_hash = !path_hash; digest }
+                  path_hash = !path_hash; path_sig = !cur_sig;
+                  extras = Array.of_list extras; digest }
               in
               match on_image image with
               | `Continue -> ()
@@ -257,6 +297,7 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
     end
   in
   let process_fence fence_tid fence_sid op =
+    refresh_sig ();
     let generated_before = stats.generated in
     (* Baseline image: the crash evicted nothing — only already-guaranteed
        stores survive. Always feasible; one per fence, capped per fence
@@ -294,7 +335,8 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
            match
              decide
                { cd_fence_tid = fence_tid; cd_crash_op = op; cd_key = 0;
-                 cd_viol = viol; cd_path_hash = !path_hash }
+                 cd_viol = viol; cd_path_hash = !path_hash;
+                 cd_path_sig = !cur_sig }
            with
            | `Defer ->
              stats.deferred <- stats.deferred + 1;
@@ -308,7 +350,8 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
                ~digest:(Some digest);
              let image =
                { img; crash_tid = fence_tid; crash_op = op; viol;
-                 path_hash = !path_hash; digest }
+                 path_hash = !path_hash; path_sig = !cur_sig; extras = [||];
+                 digest }
              in
              match on_image image with
              | `Continue -> ()
@@ -378,9 +421,15 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
   while not !stop && !i < n do
     let tid = !i in
     let k = Trace.kind_at trace tid in
-    if k = Trace.k_op_begin then path_hash := 0
-    else if k = Trace.k_load || k = Trace.k_store then
-      path_hash := path_hash_step !path_hash (Trace.sid_at trace tid);
+    if k = Trace.k_op_begin then begin
+      path_hash := 0;
+      op_nsites := 0
+    end
+    else if k = Trace.k_load || k = Trace.k_store then begin
+      let sid = Trace.sid_at trace tid in
+      path_hash := path_hash_step !path_hash sid;
+      if sig_depth > 0 then push_site sid
+    end;
     if k = Trace.k_store then begin
       let addr = Trace.addr_at trace tid and len = Trace.len_at trace tid in
       ensure_word ((addr + len - 1) lsr 3);

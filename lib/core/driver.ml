@@ -122,14 +122,21 @@ let describe_failure = function
    further; those backfilled outputs still stream through [on_output].
 
    Returns the number of operations the replay actually attempted to
-   execute (the crashing op counts: its work was done). *)
-let resume_stream (module S : Store_intf.S) ~image ~ops ~from_op ~fuel
-    ~(on_output : int -> Output.t -> [ `Continue | `Stop ]) =
+   execute (the crashing op counts: its work was done).
+
+   [?read_track] logs the word range of every NVM read into the given
+   set. The fence-batched checker uses it to prove two same-fence images
+   replay identically: the fresh pool built on the [Corrupt_pool] path is
+   image-independent, but we track it too — a superset read set only
+   makes inheritance more conservative, never unsound. *)
+let resume_stream ?read_track (module S : Store_intf.S) ~image ~ops ~from_op
+    ~fuel ~(on_output : int -> Output.t -> [ `Continue | `Stop ]) =
   let n = Array.length ops in
   let suffix_len = n - from_op in
   let executed = ref 0 in
   Obs.Metrics.incr "driver.resumes";
   let ctx = Ctx.create ~mode:Quiet ~fuel image in
+  Ctx.set_read_track ctx read_track;
   let fail_from i msg =
     let out = Output.Crashed msg in
     let rec go i =
@@ -147,6 +154,7 @@ let resume_stream (module S : Store_intf.S) ~image ~ops ~from_op ~fuel
       (try
          let fresh = Pmem.create S.pool_size in
          let ctx' = Ctx.create ~mode:Quiet ~fuel fresh in
+         Ctx.set_read_track ctx' read_track;
          `Store (S.create ctx')
        with e -> `Err (describe_failure e))
     | e -> `Err (describe_failure e)

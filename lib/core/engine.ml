@@ -11,15 +11,19 @@ type cfg = {
   lazy_oracle : bool;  (* build rolled-back oracles on first divergence *)
   memo : bool;         (* digest-keyed verdict memoization *)
   ckpt_stride : int;   (* record-time checkpoint every N ops; 0 = off *)
+  batch : bool;        (* fence-batched checking with verdict inheritance *)
   (* Path-representative image pruning (DESIGN §7). *)
   prune : Prune.Policy.t;
   expand_budget : int; (* spot-check validations per equivalence class *)
+  sig_depth : int;     (* truncate pruning signatures to the op's last K
+                          sites; 0 = full path (cluster keys always full) *)
 }
 
 let default_cfg =
   { workload = Workload.default; crash = Crash_gen.default_cfg;
     fuel = 3_000_000; lazy_oracle = true; memo = true; ckpt_stride = 32;
-    prune = Prune.Policy.Exhaustive; expand_budget = 3 }
+    batch = true; prune = Prune.Policy.Exhaustive; expand_budget = 3;
+    sig_depth = 0 }
 
 type result = {
   name : string;
@@ -50,6 +54,12 @@ type result = {
   oracle_ops_saved : int;    (* oracle ops elided by laziness/checkpoints *)
   memo_hits : int;           (* verdicts served from the digest memo *)
   ckpt_bytes : int;          (* record-time checkpoint memory footprint *)
+  (* Fence-batched checking (DESIGN §5); all zero when batch is off. *)
+  batch_on : bool;
+  batch_fences : int;        (* fence groups opened by the batched path *)
+  batch_images : int;        (* images routed through a fence group *)
+  inherit_hits : int;        (* verdicts inherited from a group sibling *)
+  inherit_ops_saved : int;   (* replay ops those inherited checks skipped *)
   (* Path-representative pruning (DESIGN §7); all zero under Exhaustive. *)
   prune_policy : Prune.Policy.t;
   prune_classes : int;       (* path-signature equivalence classes seen *)
@@ -113,6 +123,11 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
       ~checkpoints:recorded.checkpoints (module S : Store_intf.S)
       ~ops:recorded.ops ~committed:recorded.outputs
   in
+  if cfg.batch then
+    Equiv.enable_batch checker
+      ~addr_len:(fun tid ->
+        ( Nvm.Trace.addr_at recorded.trace tid,
+          Nvm.Trace.len_at recorded.trace tid ));
   let clusters = Cluster.create ~store_name:S.name in
   let n_mismatch = ref 0 in
   let op_desc_of k =
@@ -125,10 +140,18 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
       (Array.length recorded.ops + 1)
       (fun k -> Nvm.Sid.intern (Cluster.op_kind_of_desc (op_desc_of k)))
   in
+  (* Pruning signatures use the (possibly truncated) [cd_path_sig] /
+     [path_sig] digest; cluster keys keep digesting the full path. At the
+     default sig_depth 0 the two coincide. *)
   let sig_of_cand (c : Crash_gen.cand) =
     let watch, req = Crash_gen.violation_sids c.cd_viol in
     Prune.Path_sig.make ~op_kind:op_kind_sids.(c.cd_crash_op)
-      ~path:c.cd_path_hash ~watch ~req
+      ~path:c.cd_path_sig ~watch ~req
+  in
+  let prune_sig (image : Crash_gen.image) =
+    let watch, req = Crash_gen.violation_sids image.viol in
+    Prune.Path_sig.make ~op_kind:op_kind_sids.(image.crash_op)
+      ~path:image.path_sig ~watch ~req
   in
   (* Generation and checking are pipeline-fused (one image alive at a
      time), so the stage split is measured around each Equiv.check call:
@@ -198,9 +221,10 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
   let check_image ?observe (image : Crash_gen.image) =
     let t0 = Unix.gettimeofday () in
     let memo_before = (Equiv.stats checker).Equiv.n_memo_hits in
+    let inherit_before = (Equiv.stats checker).Equiv.n_inherit_hits in
     let verdict =
-      Equiv.check ~digest:image.digest checker ~img:image.img
-        ~crash_op:image.crash_op
+      Equiv.check ~digest:image.digest ~fence:image.crash_tid
+        ~extras:image.extras checker ~img:image.img ~crash_op:image.crash_op
     in
     t_equiv_acc := !t_equiv_acc +. (Unix.gettimeofday () -. t0);
     (match observe with
@@ -212,11 +236,15 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
       in
       let skey = Prune.Path_sig.stable_key sig_ in
       let memo_hit = (Equiv.stats checker).Equiv.n_memo_hits > memo_before in
+      let inherit_hit =
+        (Equiv.stats checker).Equiv.n_inherit_hits > inherit_before
+      in
       let fields =
         [ ("image", Obs.Jsonx.Int !Obs.Event.last_image_id);
           ("class", Obs.Jsonx.Str skey);
           ("consistent", Obs.Jsonx.Bool (verdict = Equiv.Consistent));
           ("memo", Obs.Jsonx.Bool memo_hit);
+          ("inherit", Obs.Jsonx.Bool inherit_hit);
           ("prov", Obs.Jsonx.Str !prov) ]
         @ (match verdict with
            | Equiv.Consistent -> []
@@ -251,8 +279,9 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
     timed (fun () ->
         match cfg.prune with
         | Prune.Policy.Exhaustive ->
-          Crash_gen.generate ~cfg:cfg.crash ~trace:recorded.trace ~conds
-            ~pool_size:recorded.pool_size ~on_image:check_image ()
+          Crash_gen.generate ~cfg:cfg.crash ~sig_depth:cfg.sig_depth
+            ~trace:recorded.trace ~conds ~pool_size:recorded.pool_size
+            ~on_image:check_image ()
         | Prune.Policy.Sample stride ->
           (* blind §7.5-style statistical fallback: every stride-th
              eligible image, no class tracking, no expansion *)
@@ -265,8 +294,9 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
             end
             else `Defer
           in
-          Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
-            ~conds ~pool_size:recorded.pool_size ~on_image:check_image ()
+          Crash_gen.generate ~cfg:cfg.crash ~decide ~sig_depth:cfg.sig_depth
+            ~trace:recorded.trace ~conds ~pool_size:recorded.pool_size
+            ~on_image:check_image ()
         | Prune.Policy.Representative ->
           let r =
             Prune.Equiv_class.create
@@ -290,14 +320,11 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
             | `Defer -> `Defer
           in
           let observe image consistent =
-            Prune.Equiv_class.observe r
-              ~sig_:(Cluster.signature
-                       ~op_kind:op_kind_sids.(image.Crash_gen.crash_op) image)
-              ~consistent
+            Prune.Equiv_class.observe r ~sig_:(prune_sig image) ~consistent
           in
           let stats =
-            Crash_gen.generate ~cfg:cfg.crash ~decide ~trace:recorded.trace
-              ~conds ~pool_size:recorded.pool_size
+            Crash_gen.generate ~cfg:cfg.crash ~decide ~sig_depth:cfg.sig_depth
+              ~trace:recorded.trace ~conds ~pool_size:recorded.pool_size
               ~on_image:(check_image ~observe) ()
           in
           (* Expansion waves. Generation is deterministic over the same
@@ -363,8 +390,8 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
             in
             let stats_w =
               Crash_gen.generate ~cfg:cfg.crash ~decide ~pass:!pass
-                ~trace:recorded.trace ~conds ~pool_size:recorded.pool_size
-                ~on_image ()
+                ~sig_depth:cfg.sig_depth ~trace:recorded.trace ~conds
+                ~pool_size:recorded.pool_size ~on_image ()
             in
             expanded_tested := !expanded_tested + stats_w.Crash_gen.tested;
             stats.Crash_gen.tested <-
@@ -376,6 +403,9 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
           done;
           stats)
   in
+  (* Close the last open fence group so the images-per-batch histogram
+     covers every group. *)
+  Equiv.flush_batch checker;
   let t_equiv = !t_equiv_acc in
   let t_gen = Float.max 0. (t_check -. t_equiv) in
   (* The two fused stages tile [check_t0, check_t0 + t_check): their span
@@ -527,6 +557,11 @@ let run ?(cfg = default_cfg) ?(class_memo = fun (_ : string) -> None)
     oracle_ops_saved = estats.Equiv.n_oracle_ops_saved;
     memo_hits = estats.Equiv.n_memo_hits;
     ckpt_bytes = List.length recorded.checkpoints * recorded.pool_size;
+    batch_on = cfg.batch;
+    batch_fences = estats.Equiv.n_batch_fences;
+    batch_images = estats.Equiv.n_batch_images;
+    inherit_hits = estats.Equiv.n_inherit_hits;
+    inherit_ops_saved = estats.Equiv.n_inherit_ops_saved;
     prune_policy = cfg.prune;
     prune_classes; prune_reps; images_deferred; images_elided;
     prune_expansions; seed_memo_hits; class_outcomes;

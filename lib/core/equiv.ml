@@ -29,7 +29,19 @@
      forced oracle resumes from the checkpoint preceding the crash op
      instead of re-running from scratch — O(n - k + K) per oracle;
    - digest memoization: images at the same crash op with equal content
-     digests (stamped by Crash_gen) reuse the first image's verdict. *)
+     digests (stamped by Crash_gen) reuse the first image's verdict.
+
+   A fourth, [enable_batch], groups the images of one fence: they share
+   the persisted base pool and differ only on the words written by the
+   stores in the symmetric difference of their extras sets. Each replayed
+   image records the word-granular read set of its resumed execution
+   (Nvm.Wset via Driver.resume_stream ~read_track); a later image of the
+   same fence whose delta words miss that read set would replay
+   bit-identically, so its verdict is inherited without resuming
+   anything. Replays are deterministic given the bytes they read, which
+   makes inheritance verdict-exact, not approximate. Oracle runs are
+   never read-tracked: they execute against fresh or checkpointed pools
+   that do not vary across the fence group. *)
 
 type verdict =
   | Consistent
@@ -51,6 +63,28 @@ type stats = {
   mutable n_oracle_runs : int;  (* rolled-back oracles actually built *)
   mutable n_oracle_ops_saved : int;  (* ops elided by laziness/checkpoints *)
   mutable n_memo_hits : int;    (* verdicts served from the digest memo *)
+  mutable n_batch_fences : int; (* fence groups opened by the batched path *)
+  mutable n_batch_images : int; (* images that went through a fence group *)
+  mutable n_inherit_hits : int; (* verdicts inherited from a group sibling *)
+  mutable n_inherit_ops_saved : int;  (* replay ops those replays would cost *)
+}
+
+(* One checked image of the current fence group: its extras set, the word
+   read set of its replay, its verdict, and the replay length (the saving
+   a later inheritor is credited with). *)
+type batch_entry = {
+  e_extras : int array;
+  e_rset : Nvm.Wset.t;
+  e_verdict : verdict;
+  e_replay : int;
+}
+
+type batch_state = {
+  mutable bs_fence : int;            (* fence tid of the open group, -1 none *)
+  mutable bs_entries : batch_entry list;  (* newest first *)
+  mutable bs_count : int;            (* images seen in the open group *)
+  mutable bs_free : Nvm.Wset.t list; (* recycled read sets *)
+  bs_addr_len : int -> int * int;    (* store tid -> written byte range *)
 }
 
 type t = {
@@ -64,6 +98,7 @@ type t = {
   checkpoints : (int * Nvm.Pmem.t) array;  (* record snapshots, ascending *)
   memo : (int * int, verdict) Hashtbl.t;  (* (crash op, digest) -> verdict *)
   elided : (int, unit) Hashtbl.t;  (* crash ops checked oracle-free so far *)
+  mutable batch : batch_state option;  (* fence batching, off by default *)
   stats : stats;
 }
 
@@ -76,11 +111,66 @@ let create ?(fuel = 3_000_000) ?(lazy_oracle = true) ?(memo = true)
   in
   { store; ops; committed; rolled_back = Hashtbl.create 64; fuel;
     lazy_oracle; memo_on = memo; checkpoints;
-    memo = Hashtbl.create 256; elided = Hashtbl.create 64;
+    memo = Hashtbl.create 256; elided = Hashtbl.create 64; batch = None;
     stats = { n_checks = 0; n_replay_ops = 0; n_early_stops = 0;
-              n_oracle_runs = 0; n_oracle_ops_saved = 0; n_memo_hits = 0 } }
+              n_oracle_runs = 0; n_oracle_ops_saved = 0; n_memo_hits = 0;
+              n_batch_fences = 0; n_batch_images = 0; n_inherit_hits = 0;
+              n_inherit_ops_saved = 0 } }
 
 let stats t = t.stats
+
+(* Fence batching. [addr_len tid] must give the byte range written by the
+   store with that trace id (the caller has the trace; this module does
+   not). The fence key passed to [check ~fence] is the fence's trace id,
+   unique per fence event, so consecutive checks of one fence's images
+   land in one group. *)
+let enable_batch t ~addr_len =
+  t.batch <-
+    Some { bs_fence = -1; bs_entries = []; bs_count = 0; bs_free = [];
+           bs_addr_len = addr_len }
+
+let close_group bs =
+  if bs.bs_count > 0 then
+    Obs.Metrics.observe "equiv.batch_group_images" bs.bs_count;
+  List.iter (fun e -> bs.bs_free <- e.e_rset :: bs.bs_free) bs.bs_entries;
+  bs.bs_entries <- [];
+  bs.bs_count <- 0;
+  bs.bs_fence <- -1
+
+(* Close the open fence group (records the final images-per-batch
+   histogram sample); call once after the last image of a run. *)
+let flush_batch t = match t.batch with Some bs -> close_group bs | None -> ()
+
+let acquire_wset bs =
+  match bs.bs_free with
+  | w :: rest -> bs.bs_free <- rest; Nvm.Wset.clear w; w
+  | [] -> Nvm.Wset.create ()
+
+(* Would [extras] replay exactly like entry [e]? The two images differ
+   only on the words written by stores in the symmetric difference of
+   the extras sets (shared extras write identical payloads onto the
+   shared persisted base). If none of those words were read by [e]'s
+   replay, the replay from the new image reads the same bytes, executes
+   the same path, and reaches the same verdict. *)
+let entry_inherits bs e (extras : int array) =
+  let delta_clean tid =
+    let addr, len = bs.bs_addr_len tid in
+    not (Nvm.Wset.mem_range e.e_rset addr len)
+  in
+  let a = e.e_extras and b = extras in
+  let la = Array.length a and lb = Array.length b in
+  let rec walk i j =
+    if i < la && j < lb then begin
+      let x = Array.unsafe_get a i and y = Array.unsafe_get b j in
+      if x = y then walk (i + 1) (j + 1)
+      else if x < y then delta_clean x && walk (i + 1) j
+      else delta_clean y && walk i (j + 1)
+    end
+    else if i < la then delta_clean a.(i) && walk (i + 1) j
+    else if j < lb then delta_clean b.(j) && walk i (j + 1)
+    else true
+  in
+  walk 0 0
 
 (* Reference oracle construction: a fresh run with op k removed. *)
 let oracle_full_rerun t k =
@@ -183,7 +273,7 @@ let verdict_of_outputs ~crash_op ~(got : Output.t array)
         crashed }
   end
 
-let check_replay t ~img ~crash_op =
+let check_replay ?read_track t ~img ~crash_op =
   let n = Array.length t.ops in
   let k = crash_op in
   let suffix_len = n - k in
@@ -244,7 +334,7 @@ let check_replay t ~img ~crash_op =
       else `Continue
   in
   let executed =
-    Driver.resume_stream t.store ~image:img ~ops:t.ops ~from_op:k
+    Driver.resume_stream ?read_track t.store ~image:img ~ops:t.ops ~from_op:k
       ~fuel:t.fuel ~on_output
   in
   t.stats.n_replay_ops <- t.stats.n_replay_ops + executed;
@@ -288,11 +378,51 @@ let check_replay t ~img ~crash_op =
         crashed = !crashed }
   end
 
+(* Batched check of one image within its fence group: try to inherit a
+   sibling's verdict, else replay with read tracking and record an entry
+   for later siblings. Inherited images are not recorded — their read
+   sets equal the donor's, so recording them adds scan cost without new
+   inheritance power. *)
+let max_group_entries = 64
+
+let check_grouped t bs ~img ~crash_op ~fence ~extras =
+  if fence <> bs.bs_fence then begin
+    close_group bs;
+    bs.bs_fence <- fence;
+    t.stats.n_batch_fences <- t.stats.n_batch_fences + 1;
+    Obs.Metrics.incr "equiv.batch_fences"
+  end;
+  bs.bs_count <- bs.bs_count + 1;
+  t.stats.n_batch_images <- t.stats.n_batch_images + 1;
+  match List.find_opt (fun e -> entry_inherits bs e extras) bs.bs_entries with
+  | Some e ->
+    t.stats.n_inherit_hits <- t.stats.n_inherit_hits + 1;
+    t.stats.n_inherit_ops_saved <- t.stats.n_inherit_ops_saved + e.e_replay;
+    Obs.Metrics.incr "equiv.inherit_hits";
+    Obs.Metrics.incr ~n:e.e_replay "equiv.inherit_ops_saved";
+    e.e_verdict
+  | None ->
+    let rset = acquire_wset bs in
+    let replay_before = t.stats.n_replay_ops in
+    let v = check_replay ~read_track:rset t ~img ~crash_op in
+    if List.length bs.bs_entries < max_group_entries then
+      bs.bs_entries <-
+        { e_extras = extras; e_rset = rset; e_verdict = v;
+          e_replay = t.stats.n_replay_ops - replay_before }
+        :: bs.bs_entries
+    else bs.bs_free <- rset :: bs.bs_free;
+    v
+
 (* [digest], when provided (Crash_gen stamps one on every image), keys the
    verdict memo: two images at the same crash op with equal digests hold
    byte-identical guaranteed content, so the replay verdict of the first
-   is returned for the second without resuming anything. *)
-let check ?digest t ~img ~crash_op =
+   is returned for the second without resuming anything.
+
+   [fence]/[extras] (Crash_gen stamps both) route the check through the
+   fence group when batching is enabled. The memo is consulted first — a
+   memo hit drops the image from the batch before any replay — and an
+   inherited verdict is memoized like a replayed one. *)
+let check ?digest ?fence ?extras t ~img ~crash_op =
   let n = Array.length t.ops in
   let suffix_len = n - crash_op in
   t.stats.n_checks <- t.stats.n_checks + 1;
@@ -309,7 +439,12 @@ let check ?digest t ~img ~crash_op =
       Obs.Metrics.incr "equiv.memo_hits";
       v
     | None ->
-      let v = check_replay t ~img ~crash_op in
+      let v =
+        match t.batch, fence, extras with
+        | Some bs, Some fence, Some extras ->
+          check_grouped t bs ~img ~crash_op ~fence ~extras
+        | _ -> check_replay t ~img ~crash_op
+      in
       (match memo_key with
        | Some key -> Hashtbl.replace t.memo key v
        | None -> ());

@@ -353,7 +353,8 @@ let generate ?(cfg = Crash_gen.default_cfg) ~trace ~(conds : t) ~pool_size
             let img = Sim_ref.materialize sim ~extras in
             let image =
               { img; crash_tid = fence_tid; crash_op = op; viol;
-                path_hash = !path_hash;
+                path_hash = !path_hash; path_sig = !path_hash;
+                extras = Array.of_list extras;
                 digest = Sim_ref.image_digest sim img }
             in
             match on_image image with
@@ -391,7 +392,7 @@ let generate ?(cfg = Crash_gen.default_cfg) ~trace ~(conds : t) ~pool_size
                viol =
                  Unpersisted_epoch
                    { fence_sid; first_lost_sid = sid_of_store first_lost };
-               path_hash = !path_hash;
+               path_hash = !path_hash; path_sig = !path_hash; extras = [||];
                digest = Sim_ref.image_digest sim img }
            in
            match on_image image with

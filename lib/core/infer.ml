@@ -43,19 +43,6 @@ type po = {
   rule : rule;
 }
 
-type t = {
-  mutable po_index : po list array;        (* 8-byte word of watch -> conds *)
-  mutable guardian_index : cell list array; (* word -> guardian cells *)
-  mutable n_guardians : int;
-  mutable n_po1 : int;
-  mutable n_po2 : int;
-  mutable n_po3 : int;
-}
-
-let n_ordering t = t.n_po1 + t.n_po2 + t.n_po3
-let n_atomicity t = t.n_guardians * (t.n_guardians - 1) / 2
-let n_guardians t = t.n_guardians
-
 let overlap a1 l1 a2 l2 = a1 < a2 + l2 && a2 < a1 + l1
 
 let words addr len =
@@ -69,11 +56,112 @@ let iter_words addr len f =
     f w
   done
 
-let grow (type a) (arr : a list array) (needed : int) : a list array =
-  let n = max (2 * Array.length arr) (needed + 1) in
-  let b = Array.make n [] in
-  Array.blit arr 0 b 0 (Array.length arr);
-  b
+(* Cache-line-blocked word index (FAST-style hierarchical blocking): each
+   8-byte pool word maps to a chain of 16-entry blocks, newest block at
+   the chain head. An entry's (addr, len) lives in flat int arrays
+   indexed by slot = block * 16 + j — the crash-generation walk's hot
+   probe (overlap test against every condition on a word) is a linear
+   scan of one or two 128-byte array stripes instead of a pointer chase
+   through cons cells, and the payload array is only touched on a hit.
+
+   Iteration order reproduces the cons-list layout this replaces exactly:
+   newest entry first within a word (blocks newest-first, entries within
+   a block scanned backwards), because candidate ordering feeds the
+   cluster digests the frontend-parity benchmarks assert on. *)
+module Windex = struct
+  let block = 16
+
+  type 'a t = {
+    mutable heads : int array;  (* word -> newest block id, -1 = none *)
+    mutable nexts : int array;  (* block id -> older block id, -1 = end *)
+    mutable used : int array;   (* block id -> entries filled *)
+    mutable addrs : int array;  (* slot = block id * 16 + j *)
+    mutable lens : int array;
+    mutable vals : 'a array;
+    mutable n_blocks : int;
+    dummy : 'a;
+  }
+
+  let create ~dummy words =
+    { heads = Array.make words (-1); nexts = Array.make 64 (-1);
+      used = Array.make 64 0; addrs = Array.make (64 * block) 0;
+      lens = Array.make (64 * block) 0; vals = Array.make (64 * block) dummy;
+      n_blocks = 0; dummy }
+
+  let ensure_word t w =
+    if w >= Array.length t.heads then begin
+      let n = max (2 * Array.length t.heads) (w + 1) in
+      let b = Array.make n (-1) in
+      Array.blit t.heads 0 b 0 (Array.length t.heads);
+      t.heads <- b
+    end
+
+  let grow_blocks t =
+    let cap = Array.length t.used in
+    let grow_int a fill =
+      let b = Array.make (2 * cap) fill in
+      Array.blit a 0 b 0 cap; b
+    in
+    t.nexts <- grow_int t.nexts (-1);
+    t.used <- grow_int t.used 0;
+    let grow_slots a fill =
+      let b = Array.make (2 * cap * block) fill in
+      Array.blit a 0 b 0 (cap * block); b
+    in
+    t.addrs <- grow_slots t.addrs 0;
+    t.lens <- grow_slots t.lens 0;
+    t.vals <- grow_slots t.vals t.dummy
+
+  let add t w ~addr ~len v =
+    ensure_word t w;
+    let head = t.heads.(w) in
+    let b =
+      if head >= 0 && t.used.(head) < block then head
+      else begin
+        if t.n_blocks >= Array.length t.used then grow_blocks t;
+        let b = t.n_blocks in
+        t.n_blocks <- b + 1;
+        t.nexts.(b) <- head;
+        t.used.(b) <- 0;
+        t.heads.(w) <- b;
+        b
+      end
+    in
+    let s = (b * block) + t.used.(b) in
+    t.addrs.(s) <- addr;
+    t.lens.(s) <- len;
+    t.vals.(s) <- v;
+    t.used.(b) <- t.used.(b) + 1
+
+  (* Entries on word [w] overlapping [addr, addr+len), newest first. *)
+  let iter_word t w ~addr ~len f =
+    if w < Array.length t.heads then begin
+      let b = ref t.heads.(w) in
+      while !b >= 0 do
+        let base = !b * block in
+        for j = t.used.(!b) - 1 downto 0 do
+          let s = base + j in
+          if overlap (Array.unsafe_get t.addrs s) (Array.unsafe_get t.lens s)
+               addr len
+          then f (Array.unsafe_get t.vals s)
+        done;
+        b := t.nexts.(!b)
+      done
+    end
+end
+
+type t = {
+  po_index : po Windex.t;        (* 8-byte word of watch -> conds *)
+  guardian_index : cell Windex.t; (* word -> guardian cells *)
+  mutable n_guardians : int;
+  mutable n_po1 : int;
+  mutable n_po2 : int;
+  mutable n_po3 : int;
+}
+
+let n_ordering t = t.n_po1 + t.n_po2 + t.n_po3
+let n_atomicity t = t.n_guardians * (t.n_guardians - 1) / 2
+let n_guardians t = t.n_guardians
 
 (* Insert-only open-addressing set of int pairs, the dedup structure of
    the inference walk. Nearly every [add_po] call is a duplicate (one
@@ -84,20 +172,21 @@ let grow (type a) (arr : a list array) (needed : int) : a list array =
    bounded by the pool size); empty slots hold [min_int]. *)
 module Pair_set = struct
   type t = {
-    mutable k1 : int array;
-    mutable k2 : int array;
+    mutable keys : int array;  (* interleaved: k1 at 2i, k2 at 2i + 1 *)
     mutable count : int;
     mutable mask : int;     (* capacity - 1, capacity a power of two *)
   }
 
+  (* Interleaving puts a probe's two key words on the same cache line;
+     with linear probing a short collision run stays within one or two
+     lines instead of touching two arrays per slot. *)
   let create cap =
     let cap =
       let c = ref 16 in
       while !c < cap do c := !c * 2 done;
       !c
     in
-    { k1 = Array.make cap min_int; k2 = Array.make cap min_int;
-      count = 0; mask = cap - 1 }
+    { keys = Array.make (2 * cap) min_int; count = 0; mask = cap - 1 }
 
   let slot s a b =
     let h = (a * 0x9E3779B97F4A7C1) lxor (b * 0xC2B2AE3D27D4EB) in
@@ -105,29 +194,29 @@ module Pair_set = struct
 
   let rec add_new s a b =
     let i = ref (slot s a b) in
-    let k1 = s.k1 and k2 = s.k2 in
+    let keys = s.keys in
     let res = ref (-1) in
     while !res < 0 do
-      let x = Array.unsafe_get k1 !i in
+      let x = Array.unsafe_get keys (2 * !i) in
       if x = min_int then res := 1
-      else if x = a && Array.unsafe_get k2 !i = b then res := 0
+      else if x = a && Array.unsafe_get keys ((2 * !i) + 1) = b then res := 0
       else i := (!i + 1) land s.mask
     done;
     !res = 1
     && begin
-      k1.(!i) <- a;
-      k2.(!i) <- b;
+      keys.(2 * !i) <- a;
+      keys.((2 * !i) + 1) <- b;
       s.count <- s.count + 1;
       if 2 * s.count > s.mask then begin
         (* grow to keep the load factor under 1/2 *)
-        let ok1 = s.k1 and ok2 = s.k2 in
+        let okeys = s.keys in
         let cap = 2 * (s.mask + 1) in
-        s.k1 <- Array.make cap min_int;
-        s.k2 <- Array.make cap min_int;
+        s.keys <- Array.make (2 * cap) min_int;
         s.mask <- cap - 1;
         s.count <- 0;
-        for j = 0 to Array.length ok1 - 1 do
-          if ok1.(j) <> min_int then ignore (add_new s ok1.(j) ok2.(j))
+        for j = 0 to (Array.length okeys / 2) - 1 do
+          if okeys.(2 * j) <> min_int then
+            ignore (add_new s okeys.(2 * j) okeys.((2 * j) + 1))
         done
       end;
       true
@@ -169,10 +258,7 @@ let add_po t seen ~wa ~wl ~wsid ~ra ~rl ~rsid rule =
           rule }
       in
       iter_words wa wl
-        (fun w ->
-           if w >= Array.length t.po_index then
-             t.po_index <- grow t.po_index w;
-           t.po_index.(w) <- cond :: t.po_index.(w))
+        (fun w -> Windex.add t.po_index w ~addr:wa ~len:wl cond)
     end
   end
 
@@ -181,16 +267,16 @@ let add_guardian t seen_g ~addr ~len ~sid =
     t.n_guardians <- t.n_guardians + 1;
     let cell = { c_addr = addr; c_len = len; c_sid = sid } in
     iter_words addr len
-      (fun w ->
-         if w >= Array.length t.guardian_index then
-           t.guardian_index <- grow t.guardian_index w;
-         t.guardian_index.(w) <- cell :: t.guardian_index.(w))
+      (fun w -> Windex.add t.guardian_index w ~addr ~len cell)
   end
 
 let infer (trace : Nvm.Trace.t) =
+  let dummy_cell = { c_addr = 0; c_len = 0; c_sid = Nvm.Sid.intern "?" } in
   let t =
-    { po_index = Array.make 4096 [];
-      guardian_index = Array.make 4096 [];
+    { po_index =
+        Windex.create 4096
+          ~dummy:{ watch = dummy_cell; req = dummy_cell; rule = PO1 };
+      guardian_index = Windex.create 4096 ~dummy:dummy_cell;
       n_guardians = 0; n_po1 = 0; n_po2 = 0; n_po3 = 0 }
   in
   let seen = { pairs = Pair_set.create 8192; wide = Hashtbl.create 16 } in
@@ -242,13 +328,7 @@ let infer (trace : Nvm.Trace.t) =
    newest condition first; a condition spanning several of the range's
    words is visited once per word, as before). *)
 let iter_conds_for t addr len f =
-  let n = Array.length t.po_index in
-  iter_words addr len
-    (fun w ->
-       if w < n then
-         List.iter
-           (fun c -> if overlap c.watch.c_addr c.watch.c_len addr len then f c)
-           t.po_index.(w))
+  iter_words addr len (fun w -> Windex.iter_word t.po_index w ~addr ~len f)
 
 let conds_for t addr len =
   let acc = ref [] in
@@ -257,13 +337,8 @@ let conds_for t addr len =
 
 (* Guardian cells overlapping a store to [addr,len). *)
 let iter_guardians_for t addr len f =
-  let n = Array.length t.guardian_index in
   iter_words addr len
-    (fun w ->
-       if w < n then
-         List.iter
-           (fun c -> if overlap c.c_addr c.c_len addr len then f c)
-           t.guardian_index.(w))
+    (fun w -> Windex.iter_word t.guardian_index w ~addr ~len f)
 
 let guardians_for t addr len =
   let acc = ref [] in

@@ -90,6 +90,20 @@ let prune_line (r : Engine.result) =
     r.prune_classes r.prune_reps r.prune_expansions r.images_tested
     r.images_elided pct r.seed_memo_hits
 
+(* Fence-batched checking summary (`witcher run -v`, DESIGN §5): how many
+   fence groups formed, how dense they were, and how much replay work
+   verdict inheritance skipped. *)
+let batch_line (r : Engine.result) =
+  let per_fence =
+    if r.batch_fences = 0 then 0.
+    else float_of_int r.batch_images /. float_of_int r.batch_fences
+  in
+  Printf.sprintf
+    "%-18s batch=on | fences %d | images %d (%.1f/fence) | inherit-hits %d | \
+     replay-ops saved %d"
+    r.name r.batch_fences r.batch_images per_fence r.inherit_hits
+    r.inherit_ops_saved
+
 (* Table 4-style detailed bug list for one store. *)
 let bug_list (r : Engine.result) =
   let buf = Buffer.create 256 in

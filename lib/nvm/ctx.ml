@@ -32,11 +32,20 @@ type t = {
   mutable op : int;
   mutable fuel : int;
   mutable tx_counter : int;
+  mutable rtrack : Wset.t option;
+      (* when set, every successful NVM read logs its word range; used by
+         the fence-batched checker to decide verdict inheritance *)
 }
 
 let create ?(boxed = false) ?(fuel = 100_000_000) ~mode pmem =
   { pmem; mode; trace = Trace.create ~boxed (); cd_stack = [];
-    op_cd = Taint.empty; cd = Taint.empty; op = -1; fuel; tx_counter = 0 }
+    op_cd = Taint.empty; cd = Taint.empty; op = -1; fuel; tx_counter = 0;
+    rtrack = None }
+
+let set_read_track t w = t.rtrack <- w
+
+let[@inline] track t addr len =
+  match t.rtrack with None -> () | Some w -> Wset.add_range w addr len
 
 let pmem t = t.pmem
 let trace t = t.trace
@@ -54,6 +63,7 @@ let recording t = t.mode = Record
 let read_u64 t ~sid addr =
   burn t;
   let v = Pmem.read_u64 t.pmem addr in
+  track t addr 8;
   if recording t then begin
     let tid =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:8 ~cd:t.cd
@@ -66,6 +76,7 @@ let read_u64 t ~sid addr =
 let read_u8 t ~sid addr =
   burn t;
   let v = Pmem.read_u8 t.pmem addr in
+  track t addr 1;
   if recording t then begin
     let tid =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:1 ~cd:t.cd
@@ -78,6 +89,7 @@ let read_u8 t ~sid addr =
 let read_bytes t ~sid addr len =
   burn t;
   let s = Pmem.read_bytes t.pmem addr len in
+  track t addr len;
   if recording t then begin
     let tid =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len ~cd:t.cd
@@ -214,6 +226,7 @@ let pop_guard t =
 let read_ptr t ~sid addr =
   burn t;
   let v = Pmem.read_u64 t.pmem addr in
+  track t addr 8;
   if recording t then begin
     let tid =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:8 ~cd:t.cd

@@ -264,6 +264,36 @@ let test_preprune_journal_compat () =
   Alcotest.(check int) "no class outcomes harvested" 0
     (C.Seed_memo.n_classes (C.Seed_memo.of_records records))
 
+(* Journals written before fence-batched checking carry no "batch"
+   member in the result payload. They must still parse, aggregate with
+   every batch column defaulting to 0, render, and count as completed
+   for --resume. *)
+let test_prebatch_journal_compat () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let s = spec "fast-fair" in
+  (* hand-written line, independent of today's encoders *)
+  let line =
+    {|{"key":"|} ^ C.Job.key s
+    ^ {|","job":{"store":"fast-fair","variant":"buggy","seed":1,"n_ops":40,"max_images":200},"status":"ok","t_wall":2.0,"result":{"store":"fast-fair","c_o":2,"c_a":0,"images_tested":150,"n_mismatch":11,"replay_ops":900,"t_gen":0.3,"t_equiv":0.7}}|}
+  in
+  let oc = open_out path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  let records = C.Journal.load path in
+  Alcotest.(check int) "pre-batch line parses" 1 (List.length records);
+  let agg = C.Aggregate.of_records records in
+  Alcotest.(check int) "bug counts aggregate" 2 agg.total.c_o;
+  Alcotest.(check int) "replay_ops aggregate" 900 agg.total.replay_ops;
+  Alcotest.(check int) "batch_fences defaults to 0" 0 agg.total.batch_fences;
+  Alcotest.(check int) "inherit_hits defaults to 0" 0 agg.total.inherit_hits;
+  Alcotest.(check int) "batch_saved defaults to 0" 0 agg.total.batch_saved;
+  Alcotest.(check bool) "report renders" true
+    (String.length (C.Aggregate.to_text agg) > 0);
+  let done_ = C.Journal.completed_keys records in
+  Alcotest.(check bool) "old key counts as completed for --resume" true
+    (Hashtbl.mem done_ (C.Job.key s))
+
 (* Journals written before the forensics event log (no --events, no
    events.jsonl next to them) must still parse, aggregate, and explain:
    `witcher explain` degrades to the journal's bug reports plus an
@@ -487,6 +517,8 @@ let suite =
       test_preoracle_journal_compat;
     Alcotest.test_case "pre-prune journal still aggregates" `Quick
       test_preprune_journal_compat;
+    Alcotest.test_case "pre-batch journal still aggregates" `Quick
+      test_prebatch_journal_compat;
     Alcotest.test_case "pre-event journal still explains" `Quick
       test_preevent_journal_compat;
     Alcotest.test_case "failing job isolated from siblings" `Quick

@@ -330,6 +330,113 @@ let prop_optimized_checker_parity =
             !ok)
          R.all)
 
+(* qcheck: fence-batched checking is invisible in the verdicts. Three
+   checkers over the identical image stream — a plain per-image one
+   (every optimization off), the optimized one (checkpoints + lazy
+   oracles + memo), and the optimized one with fence batching and
+   verdict inheritance on top — must all reach exactly the verdict the
+   reference [Equiv.verdict_of_outputs] computes on fully materialized
+   outputs, for random workloads on every registry store. *)
+let prop_batched_checker_parity =
+  QCheck2.Test.make
+    ~name:"fence-batched checker = per-image = reference, all stores (seeds)"
+    ~count:3
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       List.for_all
+         (fun (e : R.entry) ->
+            let module S = (val e.buggy ()) in
+            let wl =
+              W.Workload.no_scan { W.Workload.default with n_ops = 30; seed }
+            in
+            let rec_ =
+              W.Driver.record ~ckpt_stride:8 (module S)
+                (W.Workload.generate wl)
+            in
+            let conds = W.Infer.infer rec_.trace in
+            let fuel = W.Engine.default_cfg.fuel in
+            let plain =
+              W.Equiv.create ~fuel ~lazy_oracle:false ~memo:false (module S)
+                ~ops:rec_.ops ~committed:rec_.outputs
+            in
+            let batched =
+              W.Equiv.create ~fuel ~checkpoints:rec_.checkpoints (module S)
+                ~ops:rec_.ops ~committed:rec_.outputs
+            in
+            W.Equiv.enable_batch batched ~addr_len:(fun tid ->
+                ( Nvm.Trace.addr_at rec_.trace tid,
+                  Nvm.Trace.len_at rec_.trace tid ));
+            let ok = ref true in
+            ignore
+              (W.Crash_gen.generate
+                 ~cfg:{ W.Crash_gen.default_cfg with max_images = 100 }
+                 ~trace:rec_.trace ~conds ~pool_size:rec_.pool_size
+                 ~on_image:(fun (img : W.Crash_gen.image) ->
+                     let k = img.crash_op in
+                     let got =
+                       W.Driver.resume (module S)
+                         ~image:(Nvm.Pmem.copy img.img) ~ops:rec_.ops
+                         ~from_op:k ~fuel
+                     in
+                     let img_copy = Nvm.Pmem.copy img.img in
+                     let rb = W.Equiv.rolled_back_oracle plain k in
+                     let reference =
+                       W.Equiv.verdict_of_outputs ~crash_op:k ~got
+                         ~committed:(fun i -> rec_.outputs.(k + i))
+                         ~rolled_back:(fun i -> rb.(i))
+                     in
+                     let v_batched =
+                       W.Equiv.check ~digest:img.digest ~fence:img.crash_tid
+                         ~extras:img.extras batched ~img:img.img ~crash_op:k
+                     in
+                     let v_plain =
+                       W.Equiv.check plain ~img:img_copy ~crash_op:k
+                     in
+                     let key = function
+                       | W.Equiv.Consistent -> -1
+                       | W.Equiv.Inconsistent d -> d.first_diff
+                     in
+                     if key reference <> key v_batched
+                        || key reference <> key v_plain
+                     then ok := false;
+                     if !ok then `Continue else `Stop)
+                 ());
+            W.Equiv.flush_batch batched;
+            !ok)
+         R.all)
+
+(* qcheck: full-engine parity — a batch-on run and a batch-off run must
+   report identical mismatches, root causes and path-level clusters,
+   under both exhaustive and representative pruning. *)
+let prop_batch_engine_parity =
+  QCheck2.Test.make
+    ~name:"engine batch on = batch off (both prune policies, seeds)"
+    ~count:2
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+       let ckey (r : W.Cluster.report) =
+         (r.kind, r.op_desc, r.path_hash, r.watch_sid, r.req_sid, r.rule)
+       in
+       let keys (r : W.Engine.result) =
+         List.sort_uniq compare (List.map ckey r.all_clusters)
+       in
+       List.for_all
+         (fun (e : R.entry) ->
+            List.for_all
+              (fun prune ->
+                 let c batch =
+                   { W.Engine.default_cfg with
+                     workload = { W.Workload.default with n_ops = 30; seed };
+                     crash = { W.Crash_gen.default_cfg with max_images = 100 };
+                     ckpt_stride = 8; prune; batch }
+                 in
+                 let a = W.Engine.run ~cfg:(c true) (e.buggy ()) in
+                 let b = W.Engine.run ~cfg:(c false) (e.buggy ()) in
+                 a.n_mismatch = b.n_mismatch && a.c_o = b.c_o
+                 && a.c_a = b.c_a && keys a = keys b)
+              [ Prune.Policy.Exhaustive; Prune.Policy.Representative ])
+         R.all)
+
 (* Recovery idempotence: opening a crash image twice must not change the
    observable state a third open sees. *)
 let test_recovery_idempotent () =
@@ -473,4 +580,6 @@ let suite =
         test_cceh_recovery_via_pipeline;
       QCheck_alcotest.to_alcotest prop_fixed_durable;
       QCheck_alcotest.to_alcotest prop_buggy_found;
-      QCheck_alcotest.to_alcotest prop_optimized_checker_parity ]
+      QCheck_alcotest.to_alcotest prop_optimized_checker_parity;
+      QCheck_alcotest.to_alcotest prop_batched_checker_parity;
+      QCheck_alcotest.to_alcotest prop_batch_engine_parity ]
