@@ -6,6 +6,7 @@
      witcher run -s level-hash [--fixed] [-n 300] [--seed 7] [-v] [--json]
                  [--trace-out t.json] [--no-lazy-oracle] [--no-memo]
                  [--ckpt-stride N] [--events ev.jsonl]
+                 [--stream] [--traffic ycsb-a] [--window N] [--ckpt-ring R]
      witcher campaign -j 4 [--stores a,b] [--seeds 1,2,3] [--fixed-too]
                       [--out dir] [--resume] [--heartbeat SECS]
                       [--trace-out t.json] [--events ev.jsonl]
@@ -128,14 +129,68 @@ let prune_conv =
 
 let prune_arg =
   let open Cmdliner in
-  Arg.(value & opt prune_conv Prune.Policy.Exhaustive
+  Arg.(value & opt (some prune_conv) None
        & info [ "prune" ] ~docv:"POLICY"
            ~doc:"Crash-image pruning policy: $(b,exhaustive) validates \
                  every eligible image, $(b,representative) validates one \
                  representative per execution-path equivalence class \
                  (expanding a class on any divergent verdict), \
                  $(b,sample:N) validates every N-th image (blind \
-                 statistical fallback).")
+                 statistical fallback). Default: exhaustive, except \
+                 $(b,--stream) runs of 100k+ operations, which default to \
+                 sampling (\\u{00A7}7.5) scaled to the op count.")
+
+(* Streaming-pipeline knobs (DESIGN \u{00A7}9). Run-only, like the other
+   A/B switches: campaign job keys stay a pure function of the matrix
+   cell. *)
+let stream_arg =
+  let open Cmdliner in
+  Arg.(value & flag
+       & info [ "stream" ]
+           ~doc:"Use the bounded-memory streaming engine: ingest the \
+                 workload into a windowed ring trace with online condition \
+                 inference, then generate and validate crash images while \
+                 a second deterministic pass executes, with a bounded \
+                 checkpoint ring. Verdict-identical to the batch engine.")
+
+let traffic_conv =
+  let open Cmdliner in
+  Arg.conv
+    ( (fun s ->
+        match W.Traffic.of_name s with
+        | Some t -> Ok t
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown traffic preset %S (expected %s)" s
+                  (String.concat ", " W.Traffic.names)))),
+      fun ppf t -> Format.pp_print_string ppf t.W.Traffic.name )
+
+let traffic_arg =
+  let open Cmdliner in
+  Arg.(value & opt (some traffic_conv) None
+       & info [ "traffic" ] ~docv:"PRESET"
+           ~doc:"Drive the store with YCSB-style generated traffic \
+                 (zipfian hot keys, preload phase, bursts) instead of the \
+                 coverage-biased workload generator; one of ycsb-a..f or \
+                 mixed. $(b,-n) and $(b,--seed) still set the op count and \
+                 seed.")
+
+let window_arg =
+  let open Cmdliner in
+  Arg.(value & opt int W.Engine.default_cfg.stream_window
+       & info [ "window" ] ~docv:"SEGS"
+           ~doc:"Streaming live-window size, in trace segments (each 2^14 \
+                 events); segments older than the window are recycled \
+                 unless pinned by a dirty store or a spanning condition.")
+
+let ckpt_ring_arg =
+  let open Cmdliner in
+  Arg.(value & opt int W.Engine.default_cfg.ckpt_ring
+       & info [ "ckpt-ring" ] ~docv:"R"
+           ~doc:"Streaming checkpoint-ring capacity: only the newest \
+                 $(docv) pool snapshots are kept; oracles for older crash \
+                 points replay from scratch.")
 
 let expand_budget_arg =
   let open Cmdliner in
@@ -197,19 +252,49 @@ let list_cmd json =
   0
 
 let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo no_batch
-    ckpt_stride prune expand_budget sig_depth verbose json trace_out events =
+    ckpt_stride prune expand_budget sig_depth stream traffic window ckpt_ring
+    verbose json trace_out events =
   let e = lookup store in
   let instance = if fixed then e.fixed () else e.buggy () in
+  (* unset --prune resolves by scale: exhaustive stays the default, but a
+     100k+ op streaming run would drown in crash images, so it defaults
+     to the paper's \u{00A7}7.5 sampling, thinned proportionally *)
+  let prune =
+    match prune with
+    | Some p -> p
+    | None ->
+      if stream && ops >= 100_000 then Prune.Policy.Sample (max 1 (ops / 1000))
+      else Prune.Policy.Exhaustive
+  in
   let cfg =
     engine_cfg ~lazy_oracle:(not no_lazy_oracle) ~memo:(not no_memo)
       ~batch:(not no_batch) ~ckpt_stride ~prune ~expand_budget ~sig_depth
       ~ops ~seed ~max_images ()
   in
+  let cfg =
+    { cfg with
+      W.Engine.traffic =
+        Option.map (fun t -> { t with W.Traffic.n_ops = ops; seed }) traffic;
+      stream_window = max 1 window;
+      ckpt_ring = max 1 ckpt_ring;
+      (* the replay fuel must cover a full workload suffix, or every
+         long replay at 100k+ ops turns into a spurious "livelock"
+         verdict; the default is kept at small scale (golden runs) *)
+      fuel = max W.Engine.default_cfg.fuel (ops * 400);
+      (* keep the batch engine's checkpoint count bounded at scale: the
+         default 32-op stride would materialize thousands of pool
+         snapshots on a 100k+ op batch run *)
+      ckpt_stride =
+        (if ckpt_stride = 0 then 0 else max ckpt_stride (ops / 64)) }
+  in
   (* the event sink also powers the -v per-bug footer, so verbose runs
      record even without --events (to memory only) *)
   let ev_on = events <> None || verbose in
   if ev_on then Obs.Event.start ?path:events ();
-  let r = W.Engine.run ~cfg instance in
+  let r =
+    if stream then W.Engine.run_stream ~cfg instance
+    else W.Engine.run ~cfg instance
+  in
   let ev_items = if ev_on then Obs.Event.stop () else [] in
   (* the run's observability state: [Engine.run] reset both at entry, so
      they cover exactly this pipeline execution *)
@@ -242,6 +327,7 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo no_batch
     (match r.prune_policy with
      | Prune.Policy.Exhaustive -> ()
      | _ -> print_endline (W.Report.prune_line r));
+    if r.stream_on then print_endline (W.Report.stream_line r);
     if verbose && r.batch_on then print_endline (W.Report.batch_line r);
     print_newline ();
     if r.bug_reports = [] then
@@ -276,6 +362,8 @@ let run_cmd store fixed ops seed max_images no_lazy_oracle no_memo no_batch
 
 let campaign_cmd jobs_n stores seeds fixed_too ops max_images prune
     expand_budget timeout out resume json heartbeat trace_out events =
+  (* campaigns have no --stream, so an unset policy is plain exhaustive *)
+  let prune = Option.value prune ~default:Prune.Policy.Exhaustive in
   let plan_cfg =
     { C.Planner.stores; seeds; fixed_too; n_ops = ops; max_images; prune;
       expand_budget }
@@ -400,6 +488,7 @@ let run_t =
   Term.(const run_cmd $ store_arg $ fixed_arg $ ops_arg $ seed_arg
         $ max_images_arg $ no_lazy_oracle_arg $ no_memo_arg $ no_batch_arg
         $ ckpt_stride_arg $ prune_arg $ expand_budget_arg $ sig_depth_arg
+        $ stream_arg $ traffic_arg $ window_arg $ ckpt_ring_arg
         $ verbose_arg $ json_arg $ trace_out_arg $ events_arg)
 
 let campaign_t =

@@ -31,6 +31,10 @@ type row = {
   images_elided : int;      (* images never validated thanks to pruning *)
   prune_expansions : int;   (* classes promoted back to full validation *)
   seed_memo_hits : int;     (* classes elided via the cross-seed memo *)
+  stream_jobs : int;        (* jobs run by the bounded-memory engine *)
+  window_retirements : int; (* trace segments recycled by the window *)
+  ckpt_ring_evictions : int;(* checkpoints dropped by the bounded ring *)
+  peak_live_words : int;    (* max (not sum) GC live-heap peak, words *)
   t_equiv : float;          (* summed equivalence-checking stage time *)
   wall : float;             (* summed per-job wall-clock *)
 }
@@ -52,7 +56,8 @@ let empty_row store variant =
     oracle_ops_saved = 0; memo_hits = 0; ckpt_bytes = 0; batch_fences = 0;
     inherit_hits = 0; batch_saved = 0; prune_classes = 0;
     prune_reps = 0; images_elided = 0; prune_expansions = 0;
-    seed_memo_hits = 0; t_equiv = 0.; wall = 0. }
+    seed_memo_hits = 0; stream_jobs = 0; window_retirements = 0;
+    ckpt_ring_evictions = 0; peak_live_words = 0; t_equiv = 0.; wall = 0. }
 
 let add_record row (r : Journal.record) =
   let ok, failed, timeout, counts =
@@ -75,6 +80,12 @@ let add_record row (r : Journal.record) =
     match Option.bind counts (Jsonx.member "batch") with
     | None -> 0
     | Some bj -> Jsonx.int_field bj k
+  in
+  (* nested under "stream"; absent in batch-engine runs and every
+     pre-streaming journal, which aggregate as zeros *)
+  let stream_j = Option.bind counts (Jsonx.member "stream") in
+  let s k =
+    match stream_j with None -> 0 | Some sj -> Jsonx.int_field sj k
   in
   { row with
     jobs = row.jobs + 1;
@@ -106,6 +117,12 @@ let add_record row (r : Journal.record) =
     images_elided = row.images_elided + p "elided";
     prune_expansions = row.prune_expansions + p "expansions";
     seed_memo_hits = row.seed_memo_hits + p "seed_memo_hits";
+    stream_jobs = row.stream_jobs + (if stream_j = None then 0 else 1);
+    window_retirements = row.window_retirements + s "window_retirements";
+    ckpt_ring_evictions = row.ckpt_ring_evictions + s "ckpt_ring_evictions";
+    (* a peak is a high-water mark: campaign-wide it is the max over
+       jobs (workers run sequentially per slot), never a sum *)
+    peak_live_words = max row.peak_live_words (s "peak_live_words");
     t_equiv =
       (row.t_equiv
        +. match counts with None -> 0. | Some j -> Jsonx.float_field j "t_equiv");
@@ -158,6 +175,12 @@ let of_records (records : Journal.record list) =
            images_elided = acc.images_elided + row.images_elided;
            prune_expansions = acc.prune_expansions + row.prune_expansions;
            seed_memo_hits = acc.seed_memo_hits + row.seed_memo_hits;
+           stream_jobs = acc.stream_jobs + row.stream_jobs;
+           window_retirements =
+             acc.window_retirements + row.window_retirements;
+           ckpt_ring_evictions =
+             acc.ckpt_ring_evictions + row.ckpt_ring_evictions;
+           peak_live_words = max acc.peak_live_words row.peak_live_words;
            t_equiv = acc.t_equiv +. row.t_equiv;
            wall = acc.wall +. row.wall })
       (empty_row "TOTAL" Job.Buggy) rows
@@ -204,6 +227,14 @@ let to_text ?elapsed ?j t =
   Buffer.add_char b '\n';
   Buffer.add_string b (row_line t.total);
   Buffer.add_char b '\n';
+  if t.total.stream_jobs > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "streaming: %d job(s); %d window retirement(s); %d checkpoint \
+          eviction(s); peak live heap %.1f MB\n"
+         t.total.stream_jobs t.total.window_retirements
+         t.total.ckpt_ring_evictions
+         (float_of_int (t.total.peak_live_words * 8) /. 1024. /. 1024.));
   (match elapsed with
    | Some e when e >= 0.01 ->
      Buffer.add_string b
@@ -250,6 +281,10 @@ let row_json row =
       ("images_elided", Jsonx.Int row.images_elided);
       ("prune_expansions", Jsonx.Int row.prune_expansions);
       ("seed_memo_hits", Jsonx.Int row.seed_memo_hits);
+      ("stream_jobs", Jsonx.Int row.stream_jobs);
+      ("window_retirements", Jsonx.Int row.window_retirements);
+      ("ckpt_ring_evictions", Jsonx.Int row.ckpt_ring_evictions);
+      ("peak_live_words", Jsonx.Int row.peak_live_words);
       ("t_equiv", Jsonx.Float row.t_equiv);
       ("wall", Jsonx.Float row.wall) ]
 

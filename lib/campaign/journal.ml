@@ -85,6 +85,19 @@ let batch_json (r : W.Engine.result) =
            ("inherit_hits", Jsonx.Int r.inherit_hits);
            ("replay_ops_saved", Jsonx.Int r.inherit_ops_saved) ]) ]
 
+(* Streaming block, emitted only when the bounded-memory engine ran:
+   batch-engine results stay byte-identical to pre-streaming journals,
+   and pre-streaming journals (no "stream" member) keep parsing and
+   aggregating as zeros. *)
+let stream_json (r : W.Engine.result) =
+  if not r.stream_on then []
+  else
+    [ ("stream",
+       Jsonx.Obj
+         [ ("window_retirements", Jsonx.Int r.window_retirements);
+           ("ckpt_ring_evictions", Jsonx.Int r.ckpt_ring_evictions);
+           ("peak_live_words", Jsonx.Int r.peak_live_words) ]) ]
+
 let result_json (r : W.Engine.result) =
   Jsonx.Obj
     ([ ("store", Jsonx.Str r.name);
@@ -128,7 +141,7 @@ let result_json (r : W.Engine.result) =
       (* pre-split readers summed generation + checking as t_check; keep
          emitting it so old tooling can read new journals *)
       ("t_check", Jsonx.Float (r.t_gen +. r.t_equiv)) ]
-     @ batch_json r @ prune_json r)
+     @ batch_json r @ prune_json r @ stream_json r)
 
 (* ---------- records ---------- *)
 

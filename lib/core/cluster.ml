@@ -93,23 +93,35 @@ let n_clusters t = Hashtbl.length t.clusters
    cause (§7.4); this is the count comparable to the paper's Table 4/5
    bug numbers. *)
 let root_causes t =
+  (* representative per root cause chosen in [reports_keyed] order: a
+     raw [Hashtbl.iter] would elect whichever tied cluster the
+     process-local sid ints happened to bucket first, and the batch and
+     streaming engines intern sids on different schedules *)
   let seen = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _ r ->
-       if not (Hashtbl.mem seen (r.kind, r.watch_sid)) then
-         Hashtbl.add seen (r.kind, r.watch_sid) r)
-    t.clusters;
-  Hashtbl.fold (fun _ r acc -> r :: acc) seen []
+  List.filter_map
+    (fun (_, r) ->
+       if Hashtbl.mem seen (r.kind, r.watch_sid) then None
+       else begin
+         Hashtbl.add seen (r.kind, r.watch_sid) ();
+         Some r
+       end)
+    (reports_keyed t)
   |> List.sort (fun a b -> compare (a.watch_sid, a.req_sid) (b.watch_sid, b.req_sid))
 
 (* Distinct static-site pairs, a tighter proxy for distinct root causes
-   than raw clusters (multiple clusters may share a root cause, §7.4). *)
+   than raw clusters (multiple clusters may share a root cause, §7.4).
+   Representative per pair is the first in [reports_keyed] order, for
+   the same cross-engine determinism as [root_causes]. *)
 let site_pairs t =
   let seen = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _ r -> Hashtbl.replace seen (r.kind, r.watch_sid, r.req_sid) r)
-    t.clusters;
-  Hashtbl.fold (fun _ r acc -> r :: acc) seen []
+  List.filter_map
+    (fun (_, r) ->
+       if Hashtbl.mem seen (r.kind, r.watch_sid, r.req_sid) then None
+       else begin
+         Hashtbl.add seen (r.kind, r.watch_sid, r.req_sid) ();
+         Some r
+       end)
+    (reports_keyed t)
   |> List.sort (fun a b -> compare (a.watch_sid, a.req_sid) (b.watch_sid, b.req_sid))
 
 let pp_report ppf (r : report) =

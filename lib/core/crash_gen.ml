@@ -108,12 +108,23 @@ type epoch_cand =
    pruning classes digest identically (and stably across processes). *)
 let path_hash_step = Prune.Path_sig.step
 
+(* Incremental generator handle: [stream_feed] consumes one trace index,
+   [stream_finish] settles the stats. Built so the batch [generate] below
+   is exactly "feed every index in order" — the streaming engine gets the
+   same candidate/image stream by construction. *)
+type gen = {
+  g_feed : int -> unit;
+  g_stopped : unit -> bool;
+  g_finish : unit -> stats;
+  g_sim : Crash_sim.t;
+}
+
 (* [sig_depth] > 0 truncates the per-image path digest to the op's last
    [sig_depth] load/store sites: long-path ops (rehashes, splits) whose
    tails agree then share a pruning class even when their prefixes differ.
    Only the pruning signature coarsens — [path_hash], and so cluster keys,
    always digest the full path. Depth 0 (default) keeps both identical. *)
-let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
+let stream_create ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
     ?(pass = 0) ?(sig_depth = 0) ~trace ~(conds : Infer.t) ~pool_size
     ~on_image () =
   let sim = Crash_sim.create ~trace ~pool_size in
@@ -121,17 +132,32 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
     { candidates = 0; generated = 0; eligible = 0; deferred = 0; tested = 0;
       bytes_materialized = 0; per_op_images = Hashtbl.create 64 }
   in
-  (* 8-byte word -> tid of latest store touching it, -1 = none. Grown on
-     demand: pools are up to 16MB but stores touch a small dense prefix,
-     and eagerly clearing a pool-sized array would dominate small runs. *)
+  (* 8-byte word -> tid/addr/len/sid of the latest store touching it,
+     tid -1 = none. Grown on demand: pools are up to 16MB but stores touch
+     a small dense prefix, and eagerly clearing pool-sized arrays would
+     dominate small runs. The addr/len/sid columns shadow the store's
+     trace fields so [latest_store_to] never reads the trace — over a
+     windowed ring the latest store to a word may be long retired (and by
+     the retirement invariant, guaranteed), and these probes must not
+     fault on it. *)
   let last_store_word = ref (Array.make 4096 (-1)) in
+  let last_store_addr = ref (Array.make 4096 0) in
+  let last_store_len = ref (Array.make 4096 0) in
+  let last_store_sid = ref (Array.make 4096 0) in
   let last_store_cap = (pool_size + 7) lsr 3 in
   let ensure_word w =
     if w >= Array.length !last_store_word then begin
-      let n = min last_store_cap (max (2 * Array.length !last_store_word) (w + 1)) in
-      let b = Array.make n (-1) in
-      Array.blit !last_store_word 0 b 0 (Array.length !last_store_word);
-      last_store_word := b
+      let cap = Array.length !last_store_word in
+      let n = min last_store_cap (max (2 * cap) (w + 1)) in
+      let grow r fill =
+        let b = Array.make n fill in
+        Array.blit !r 0 b 0 cap;
+        r := b
+      in
+      grow last_store_word (-1);
+      grow last_store_addr 0;
+      grow last_store_len 0;
+      grow last_store_sid 0
     end
   in
   let epoch : epoch_cand list ref = ref [] in
@@ -174,22 +200,30 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
     Hashtbl.replace stats.per_op_images op
       (1 + Option.value ~default:0 (Hashtbl.find_opt stats.per_op_images op))
   in
-  (* Latest store whose range overlaps the cell, if any: O(words of cell)
-     array reads, overlap checked against the store's trace fields. *)
+  (* Latest store whose range overlaps the cell, if any, with its sid:
+     O(words of cell) array reads against the shadow columns — identical
+     values to the store's trace fields, valid even if the store's trace
+     segment has been retired. *)
   let latest_store_to (cell : Infer.cell) =
     let best = ref (-1) in
+    let best_sid = ref 0 in
     let arr = !last_store_word in
+    let addrs = !last_store_addr
+    and lens = !last_store_len
+    and sids = !last_store_sid in
     let n = Array.length arr in
     Infer.iter_words cell.c_addr cell.c_len
       (fun w ->
          if w < n then begin
            let tid = arr.(w) in
            if tid > !best
-           && Infer.overlap (Trace.addr_at trace tid) (Trace.len_at trace tid)
-                cell.c_addr cell.c_len
-           then best := tid
+           && Infer.overlap addrs.(w) lens.(w) cell.c_addr cell.c_len
+           then begin
+             best := tid;
+             best_sid := sids.(w)
+           end
          end);
-    if !best < 0 then None else Some !best
+    if !best < 0 then None else Some (!best, !best_sid)
   in
   let sid_of_store tid = Trace.sid_at trace tid in
   (* Event-log record for an eligible image, tested or deferred. Emitted
@@ -364,15 +398,15 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
       (function
         | C_po (po, sy_tid) ->
           (match latest_store_to po.Infer.req with
-           | Some sx_tid when sx_tid <> sy_tid ->
+           | Some (sx_tid, sx_sid) when sx_tid <> sy_tid ->
              let viol =
                Ordering
                  { rule = po.rule;
                    watch_sid = sid_of_store sy_tid;
-                   req_sid = sid_of_store sx_tid;
+                   req_sid = sx_sid;
                    watch_tid = sy_tid; req_tid = sx_tid }
              in
-             let site_key = (sid_of_store sy_tid, sid_of_store sx_tid, 0) in
+             let site_key = (sid_of_store sy_tid, sx_sid, 0) in
              emit ~fence_tid ~op ~persist_tid:sy_tid ~avoid_tid:sx_tid
                ~viol ~site_key
            | _ -> ())
@@ -416,38 +450,60 @@ let generate ?(cfg = default_cfg) ?(decide = fun (_ : cand) -> `Test)
     epoch := [];
     Hashtbl.reset epoch_seen
   in
+  let feed tid =
+    if not !stop then begin
+      let k = Trace.kind_at trace tid in
+      if k = Trace.k_op_begin then begin
+        path_hash := 0;
+        op_nsites := 0
+      end
+      else if k = Trace.k_load || k = Trace.k_store then begin
+        let sid = Trace.sid_at trace tid in
+        path_hash := path_hash_step !path_hash sid;
+        if sig_depth > 0 then push_site sid
+      end;
+      if k = Trace.k_store then begin
+        let addr = Trace.addr_at trace tid and len = Trace.len_at trace tid in
+        let sid = Trace.sid_at trace tid in
+        ensure_word ((addr + len - 1) lsr 3);
+        Infer.iter_words addr len
+          (fun w ->
+             !last_store_word.(w) <- tid;
+             !last_store_addr.(w) <- addr;
+             !last_store_len.(w) <- len;
+             !last_store_sid.(w) <- sid);
+        (* Register condition candidates watching this store. *)
+        Infer.iter_conds_for conds addr len
+          (fun po ->
+             if not (Hashtbl.mem epoch_seen po) then begin
+               Hashtbl.add epoch_seen po ();
+               epoch := C_po (po, tid) :: !epoch
+             end);
+        Infer.iter_guardians_for conds addr len
+          (fun g -> epoch := C_guardian (g, tid) :: !epoch)
+      end
+      else if k = Trace.k_fence then
+        process_fence tid (Trace.sid_at trace tid) (Trace.op_at trace tid);
+      Crash_sim.on_index sim tid
+    end
+  in
+  let finish () =
+    stats.bytes_materialized <- Crash_sim.bytes_materialized sim;
+    stats
+  in
+  { g_feed = feed; g_stopped = (fun () -> !stop); g_finish = finish;
+    g_sim = sim }
+
+let generate ?cfg ?decide ?pass ?sig_depth ~trace ~(conds : Infer.t)
+    ~pool_size ~on_image () =
+  let g =
+    stream_create ?cfg ?decide ?pass ?sig_depth ~trace ~conds ~pool_size
+      ~on_image ()
+  in
   let n = Trace.length trace in
   let i = ref 0 in
-  while not !stop && !i < n do
-    let tid = !i in
-    let k = Trace.kind_at trace tid in
-    if k = Trace.k_op_begin then begin
-      path_hash := 0;
-      op_nsites := 0
-    end
-    else if k = Trace.k_load || k = Trace.k_store then begin
-      let sid = Trace.sid_at trace tid in
-      path_hash := path_hash_step !path_hash sid;
-      if sig_depth > 0 then push_site sid
-    end;
-    if k = Trace.k_store then begin
-      let addr = Trace.addr_at trace tid and len = Trace.len_at trace tid in
-      ensure_word ((addr + len - 1) lsr 3);
-      Infer.iter_words addr len (fun w -> !last_store_word.(w) <- tid);
-      (* Register condition candidates watching this store. *)
-      Infer.iter_conds_for conds addr len
-        (fun po ->
-           if not (Hashtbl.mem epoch_seen po) then begin
-             Hashtbl.add epoch_seen po ();
-             epoch := C_po (po, tid) :: !epoch
-           end);
-      Infer.iter_guardians_for conds addr len
-        (fun g -> epoch := C_guardian (g, tid) :: !epoch)
-    end
-    else if k = Trace.k_fence then
-      process_fence tid (Trace.sid_at trace tid) (Trace.op_at trace tid);
-    Crash_sim.on_index sim tid;
+  while (not (g.g_stopped ())) && !i < n do
+    g.g_feed !i;
     incr i
   done;
-  stats.bytes_materialized <- Crash_sim.bytes_materialized sim;
-  stats
+  g.g_finish ()

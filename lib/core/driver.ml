@@ -24,11 +24,12 @@ type recorded = {
      checkpointed pool is immutable and reusable across oracle runs *)
 }
 
-let record ?(ckpt_stride = 0) ?(boxed = false) (module S : Store_intf.S) ops =
+let record ?(ckpt_stride = 0) ?(boxed = false) ?events_hint
+    (module S : Store_intf.S) ops =
   let ops = Array.of_list ops in
   let n = Array.length ops in
   let pmem = Pmem.create S.pool_size in
-  let ctx = Ctx.create ~boxed ~mode:Record pmem in
+  let ctx = Ctx.create ~boxed ?events_hint ~mode:Record pmem in
   let ev_op index desc =
     if Obs.Event.enabled () then
       ignore

@@ -95,7 +95,7 @@ type t = {
   fuel : int;
   lazy_oracle : bool;           (* defer the oracle to first divergence *)
   memo_on : bool;               (* digest-keyed verdict memoization *)
-  checkpoints : (int * Nvm.Pmem.t) array;  (* record snapshots, ascending *)
+  mutable checkpoints : (int * Nvm.Pmem.t) array;  (* record snapshots, ascending *)
   memo : (int * int, verdict) Hashtbl.t;  (* (crash op, digest) -> verdict *)
   elided : (int, unit) Hashtbl.t;  (* crash ops checked oracle-free so far *)
   mutable batch : batch_state option;  (* fence batching, off by default *)
@@ -118,6 +118,29 @@ let create ?(fuel = 3_000_000) ?(lazy_oracle = true) ?(memo = true)
               n_inherit_ops_saved = 0 } }
 
 let stats t = t.stats
+
+(* Replace the checkpoint set. The streaming engine maintains a bounded
+   ring of snapshots and re-points the checker as it rotates; checkpoints
+   only change which snapshot an oracle resumes from (cost), never the
+   oracle's outputs, so swapping them mid-run is verdict-neutral. *)
+let set_checkpoints t checkpoints =
+  let a = Array.of_list checkpoints in
+  Array.sort (fun (i, _) (j, _) -> compare i j) a;
+  t.checkpoints <- a
+
+let drop_matching_keys tbl pred =
+  let dead = Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) tbl [] in
+  List.iter (Hashtbl.remove tbl) dead
+
+(* Drop per-crash-op caches below [floor]. As the streaming window slides,
+   no future image can crash below the floor, so memoized verdicts,
+   rolled-back oracles and lazy-elision marks for those ops can never be
+   consulted again — holding them is what would make the checker's heap
+   grow with the whole run. *)
+let forget_before t ~floor =
+  drop_matching_keys t.rolled_back (fun op -> op < floor);
+  drop_matching_keys t.elided (fun op -> op < floor);
+  drop_matching_keys t.memo (fun (op, _) -> op < floor)
 
 (* Fence batching. [addr_len tid] must give the byte range written by the
    store with that trace id (the caller has the trace; this module does

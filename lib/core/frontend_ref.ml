@@ -191,7 +191,7 @@ module Sim_ref = struct
     | Some ls -> ls
     | None ->
       let ls =
-        { seq = Vec.create ~dummy:(-1); pending_upto = 0; guaranteed_upto = 0 }
+        { seq = Vec.create ~dummy:(-1) (); pending_upto = 0; guaranteed_upto = 0 }
       in
       Hashtbl.add t.lines line ls;
       ls

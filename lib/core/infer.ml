@@ -150,19 +150,6 @@ module Windex = struct
     end
 end
 
-type t = {
-  po_index : po Windex.t;        (* 8-byte word of watch -> conds *)
-  guardian_index : cell Windex.t; (* word -> guardian cells *)
-  mutable n_guardians : int;
-  mutable n_po1 : int;
-  mutable n_po2 : int;
-  mutable n_po3 : int;
-}
-
-let n_ordering t = t.n_po1 + t.n_po2 + t.n_po3
-let n_atomicity t = t.n_guardians * (t.n_guardians - 1) / 2
-let n_guardians t = t.n_guardians
-
 (* Insert-only open-addressing set of int pairs, the dedup structure of
    the inference walk. Nearly every [add_po] call is a duplicate (one
    load feeds many stores of the same cells), so the per-call cost is
@@ -235,6 +222,21 @@ type seen = {
   wide : (int * int * int * int * int, unit) Hashtbl.t;
 }
 
+type t = {
+  po_index : po Windex.t;        (* 8-byte word of watch -> conds *)
+  guardian_index : cell Windex.t; (* word -> guardian cells *)
+  mutable n_guardians : int;
+  mutable n_po1 : int;
+  mutable n_po2 : int;
+  mutable n_po3 : int;
+  seen : seen;                   (* dedup state, lives across [feed] calls *)
+  seen_g : Pair_set.t;
+}
+
+let n_ordering t = t.n_po1 + t.n_po2 + t.n_po3
+let n_atomicity t = t.n_guardians * (t.n_guardians - 1) / 2
+let n_guardians t = t.n_guardians
+
 let seen_add seen ~wa ~wl ~ra ~rl rid =
   if pack_ok wa wl && pack_ok ra rl then
     Pair_set.add_new seen.pairs (pack wa wl) ((pack ra rl * 4) + rid)
@@ -270,56 +272,63 @@ let add_guardian t seen_g ~addr ~len ~sid =
       (fun w -> Windex.add t.guardian_index w ~addr ~len cell)
   end
 
-let infer (trace : Nvm.Trace.t) =
+let create () =
   let dummy_cell = { c_addr = 0; c_len = 0; c_sid = Nvm.Sid.intern "?" } in
-  let t =
-    { po_index =
-        Windex.create 4096
-          ~dummy:{ watch = dummy_cell; req = dummy_cell; rule = PO1 };
-      guardian_index = Windex.create 4096 ~dummy:dummy_cell;
-      n_guardians = 0; n_po1 = 0; n_po2 = 0; n_po3 = 0 }
-  in
-  let seen = { pairs = Pair_set.create 8192; wide = Hashtbl.create 16 } in
-  let seen_g = Pair_set.create 256 in
+  { po_index =
+      Windex.create 4096
+        ~dummy:{ watch = dummy_cell; req = dummy_cell; rule = PO1 };
+    guardian_index = Windex.create 4096 ~dummy:dummy_cell;
+    n_guardians = 0; n_po1 = 0; n_po2 = 0; n_po3 = 0;
+    seen = { pairs = Pair_set.create 8192; wide = Hashtbl.create 16 };
+    seen_g = Pair_set.create 256 }
+
+(* Process the event at trace index [i]. The only trace reads are of [i]
+   itself and of the (younger-than-window-pinned) loads in its taints, so
+   feeding works over a windowed ring as well as a full trace. Feeding
+   every index once, in order, is exactly the batch walk: condition
+   discovery depends only on the prefix up to [i]. *)
+let feed t (trace : Nvm.Trace.t) i =
   let k_load = Nvm.Trace.k_load in
-  let k_store = Nvm.Trace.k_store in
-  let n = Nvm.Trace.length trace in
-  for i = 0 to n - 1 do
-    let k = Nvm.Trace.kind_at trace i in
-    if k = k_store then begin
-      let wa = Nvm.Trace.addr_at trace i
-      and wl = Nvm.Trace.len_at trace i
-      and wsid = Nvm.Trace.sid_at trace i in
-      let member rule tid =
-        if Nvm.Trace.kind_at trace tid = k_load then
-          add_po t seen ~wa ~wl ~wsid
-            ~ra:(Nvm.Trace.addr_at trace tid)
-            ~rl:(Nvm.Trace.len_at trace tid)
-            ~rsid:(Nvm.Trace.sid_at trace tid) rule
-      in
-      Nvm.Taint.iter (member PO1) (Nvm.Trace.dd_at trace i);
-      Nvm.Taint.iter (member PO2) (Nvm.Trace.cd_at trace i)
+  let k = Nvm.Trace.kind_at trace i in
+  if k = Nvm.Trace.k_store then begin
+    let wa = Nvm.Trace.addr_at trace i
+    and wl = Nvm.Trace.len_at trace i
+    and wsid = Nvm.Trace.sid_at trace i in
+    let member rule tid =
+      if Nvm.Trace.kind_at trace tid = k_load then
+        add_po t t.seen ~wa ~wl ~wsid
+          ~ra:(Nvm.Trace.addr_at trace tid)
+          ~rl:(Nvm.Trace.len_at trace tid)
+          ~rsid:(Nvm.Trace.sid_at trace tid) rule
+    in
+    Nvm.Taint.iter (member PO1) (Nvm.Trace.dd_at trace i);
+    Nvm.Taint.iter (member PO2) (Nvm.Trace.cd_at trace i)
+  end
+  else if k = k_load then begin
+    let cd = Nvm.Trace.cd_at trace i in
+    if not (Nvm.Taint.is_empty cd) then begin
+      let ra = Nvm.Trace.addr_at trace i
+      and rl = Nvm.Trace.len_at trace i
+      and rsid = Nvm.Trace.sid_at trace i in
+      Nvm.Taint.iter
+        (fun tid ->
+           if Nvm.Trace.kind_at trace tid = k_load then begin
+             let xa = Nvm.Trace.addr_at trace tid
+             and xl = Nvm.Trace.len_at trace tid in
+             if not (overlap xa xl ra rl) then begin
+               let xsid = Nvm.Trace.sid_at trace tid in
+               add_po t t.seen ~wa:xa ~wl:xl ~wsid:xsid ~ra ~rl ~rsid PO3;
+               add_guardian t t.seen_g ~addr:xa ~len:xl ~sid:xsid
+             end
+           end)
+        cd
     end
-    else if k = k_load then begin
-      let cd = Nvm.Trace.cd_at trace i in
-      if not (Nvm.Taint.is_empty cd) then begin
-        let ra = Nvm.Trace.addr_at trace i
-        and rl = Nvm.Trace.len_at trace i
-        and rsid = Nvm.Trace.sid_at trace i in
-        Nvm.Taint.iter
-          (fun tid ->
-             if Nvm.Trace.kind_at trace tid = k_load then begin
-               let xa = Nvm.Trace.addr_at trace tid
-               and xl = Nvm.Trace.len_at trace tid in
-               if not (overlap xa xl ra rl) then begin
-                 let xsid = Nvm.Trace.sid_at trace tid in
-                 add_po t seen ~wa:xa ~wl:xl ~wsid:xsid ~ra ~rl ~rsid PO3;
-                 add_guardian t seen_g ~addr:xa ~len:xl ~sid:xsid
-               end
-             end)
-          cd
-      end
-    end
+  end
+
+let infer (trace : Nvm.Trace.t) =
+  let t = create () in
+  for i = 0 to Nvm.Trace.length trace - 1 do
+    feed t trace i
   done;
   t
 

@@ -42,64 +42,83 @@ type line_track = {
   mutable unflushed : (int * Nvm.Sid.t) list;  (* store tid, sid: dirty, no flush yet *)
 }
 
-let detect (trace : Nvm.Trace.t) =
-  let t = { p_u = mk (); p_efl = mk (); p_efe = mk (); p_el = mk () } in
-  let lines : (int, line_track) Hashtbl.t = Hashtbl.create 1024 in
-  let flush_since_fence = ref 0 in
-  (* Per transaction: logged intervals (addr, len). *)
-  let tx_logs : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
-  let track line =
-    match Hashtbl.find_opt lines line with
-    | Some l -> l
-    | None ->
-      let l = { unflushed = [] } in
-      Hashtbl.add lines line l;
-      l
-  in
-  let n = Nvm.Trace.length trace in
-  for i = 0 to n - 1 do
-    let k = Nvm.Trace.kind_at trace i in
-    if k = Nvm.Trace.k_store then begin
-      let l = track (Nvm.Pmem.line_of_addr (Nvm.Trace.addr_at trace i)) in
-      l.unflushed <- (i, Nvm.Trace.sid_at trace i) :: l.unflushed
-    end
-    else if k = Nvm.Trace.k_flush then begin
-      incr flush_since_fence;
-      let l = track (Nvm.Trace.addr_at trace i) in
-      if l.unflushed = [] then hit t.p_efl (Nvm.Trace.sid_at trace i)
-      else l.unflushed <- []
-    end
-    else if k = Nvm.Trace.k_fence then begin
-      if !flush_since_fence = 0 then hit t.p_efe (Nvm.Trace.sid_at trace i);
-      flush_since_fence := 0
-    end
-    else if k = Nvm.Trace.k_log_range then begin
-      let tx = Nvm.Trace.tx_at trace i in
-      let logs =
-        match Hashtbl.find_opt tx_logs tx with
-        | Some l -> l
-        | None ->
-          let l = ref [] in
-          Hashtbl.add tx_logs tx l;
-          l
-      in
-      let g_addr = Nvm.Trace.addr_at trace i in
-      let g_len = Nvm.Trace.len_at trace i in
-      let covered =
-        (* fully contained in the union of previously logged ranges;
-           we check containment in a single range, which matches the
-           redundant-logging pattern in practice *)
-        List.exists
-          (fun (a, len) -> g_addr >= a && g_addr + g_len <= a + len)
-          !logs
-      in
-      if covered then hit t.p_el (Nvm.Trace.sid_at trace i)
-      else logs := (g_addr, g_len) :: !logs
-    end
-  done;
+(* Incremental walk state: [feed] consumes one event (reading only that
+   trace index, so it works over a windowed ring), [finish] settles the
+   end-of-trace P-U rule. [detect] below is the batch composition. *)
+type stream = {
+  acc : t;
+  lines : (int, line_track) Hashtbl.t;
+  mutable flush_since_fence : int;
+  tx_logs : (int, (int * int) list ref) Hashtbl.t;
+      (* per transaction: logged intervals (addr, len) *)
+}
+
+let create () =
+  { acc = { p_u = mk (); p_efl = mk (); p_efe = mk (); p_el = mk () };
+    lines = Hashtbl.create 1024;
+    flush_since_fence = 0;
+    tx_logs = Hashtbl.create 16 }
+
+let track st line =
+  match Hashtbl.find_opt st.lines line with
+  | Some l -> l
+  | None ->
+    let l = { unflushed = [] } in
+    Hashtbl.add st.lines line l;
+    l
+
+let feed st (trace : Nvm.Trace.t) i =
+  let t = st.acc in
+  let k = Nvm.Trace.kind_at trace i in
+  if k = Nvm.Trace.k_store then begin
+    let l = track st (Nvm.Pmem.line_of_addr (Nvm.Trace.addr_at trace i)) in
+    l.unflushed <- (i, Nvm.Trace.sid_at trace i) :: l.unflushed
+  end
+  else if k = Nvm.Trace.k_flush then begin
+    st.flush_since_fence <- st.flush_since_fence + 1;
+    let l = track st (Nvm.Trace.addr_at trace i) in
+    if l.unflushed = [] then hit t.p_efl (Nvm.Trace.sid_at trace i)
+    else l.unflushed <- []
+  end
+  else if k = Nvm.Trace.k_fence then begin
+    if st.flush_since_fence = 0 then hit t.p_efe (Nvm.Trace.sid_at trace i);
+    st.flush_since_fence <- 0
+  end
+  else if k = Nvm.Trace.k_log_range then begin
+    let tx = Nvm.Trace.tx_at trace i in
+    let logs =
+      match Hashtbl.find_opt st.tx_logs tx with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add st.tx_logs tx l;
+        l
+    in
+    let g_addr = Nvm.Trace.addr_at trace i in
+    let g_len = Nvm.Trace.len_at trace i in
+    let covered =
+      (* fully contained in the union of previously logged ranges;
+         we check containment in a single range, which matches the
+         redundant-logging pattern in practice *)
+      List.exists
+        (fun (a, len) -> g_addr >= a && g_addr + g_len <= a + len)
+        !logs
+    in
+    if covered then hit t.p_el (Nvm.Trace.sid_at trace i)
+    else logs := (g_addr, g_len) :: !logs
+  end
+
+let finish st =
   (* Anything still unflushed at the end never gets persisted: P-U. *)
   Hashtbl.iter
     (fun _ l ->
-       List.iter (fun (_tid, sid) -> hit t.p_u sid) l.unflushed)
-    lines;
-  t
+       List.iter (fun (_tid, sid) -> hit st.acc.p_u sid) l.unflushed)
+    st.lines;
+  st.acc
+
+let detect (trace : Nvm.Trace.t) =
+  let st = create () in
+  for i = 0 to Nvm.Trace.length trace - 1 do
+    feed st trace i
+  done;
+  finish st

@@ -104,6 +104,16 @@ let batch_line (r : Engine.result) =
     r.name r.batch_fences r.batch_images per_fence r.inherit_hits
     r.inherit_ops_saved
 
+(* Streaming-pipeline summary (`witcher run --stream`, DESIGN §9): how
+   far the trace window slid, how the checkpoint ring churned, and the
+   observed live-heap high-water mark. *)
+let stream_line (r : Engine.result) =
+  Printf.sprintf
+    "%-18s stream=on | window retirements %d | ckpt-ring evictions %d | \
+     peak live heap %.1f MB"
+    r.name r.window_retirements r.ckpt_ring_evictions
+    (float_of_int (r.peak_live_words * 8) /. 1024. /. 1024.)
+
 (* Table 4-style detailed bug list for one store. *)
 let bug_list (r : Engine.result) =
   let buf = Buffer.create 256 in

@@ -35,17 +35,24 @@
    the next trace event; callers that retain an image longer must detach
    it with [Pmem.copy]. *)
 
+(* Per-line sequence indices are absolute (count stores ever fed on the
+   line); [dropped] entries have been compacted off the front of [seq]
+   once guaranteed — queries never look below [guaranteed_upto], so the
+   physical Vec holds only the not-yet-guaranteed tail plus a bounded
+   guaranteed fringe. *)
 type line_state = {
   seq : int Vec.t;                 (* store tids on this line, program order *)
+  mutable dropped : int;           (* guaranteed prefix compacted off [seq] *)
   mutable pending_upto : int;      (* seq prefix covered by a flush *)
   mutable guaranteed_upto : int;   (* seq prefix that is durable *)
 }
 
 type t = {
   trace : Trace.t;
+  ring : bool;                     (* windowed trace: key side tables by slot *)
   lines : (int, line_state) Hashtbl.t;
-  mutable pos_line : int array;    (* store tid -> cache line, -1 = not fed *)
-  mutable pos_idx : int array;     (* store tid -> index in line's seq *)
+  mutable pos_line : int array;    (* store slot -> cache line, -1 = not fed *)
+  mutable pos_idx : int array;     (* store slot -> index in line's seq *)
   mutable touched : int list;      (* lines flushed since last fence *)
   persisted : Pmem.t;
   mutable n_guaranteed : int;
@@ -53,11 +60,16 @@ type t = {
   mutable images_materialized : int;
   mutable bytes_materialized : int; (* bytes written to build images *)
   mutable digest : int;            (* digest of [persisted]'s content *)
+  mutable on_guarantee : (int -> unit) option;
+      (* called with each store tid as it becomes guaranteed; the streaming
+         engine unpins the store's trace segment here *)
 }
 
 let create ~trace ~pool_size =
-  let n = max 16 (Trace.length trace) in
+  let ring = Trace.is_ring trace in
+  let n = max 16 (if ring then Trace.slot_capacity trace else Trace.length trace) in
   { trace;
+    ring;
     lines = Hashtbl.create 1024;
     pos_line = Array.make n (-1);
     pos_idx = Array.make n (-1);
@@ -67,12 +79,21 @@ let create ~trace ~pool_size =
     n_dirty = 0;
     images_materialized = 0;
     bytes_materialized = 0;
-    digest = 0x1505 }
+    digest = 0x1505;
+    on_guarantee = None }
 
-let ensure t tid =
+let set_on_guarantee t f = t.on_guarantee <- Some f
+
+(* Position-map key. Over a windowed (ring) trace, tid-indexed arrays
+   would grow with the whole run; [Trace.slot_pos] is dense over the live
+   window, so the maps stay O(window). A recycled slot is overwritten when
+   its new store is fed; queries are only meaningful for live tids. *)
+let[@inline] pos t tid = if t.ring then Trace.slot_pos t.trace tid else tid
+
+let ensure t p =
   let cap = Array.length t.pos_idx in
-  if tid >= cap then begin
-    let n = max (2 * cap) (tid + 1) in
+  if p >= cap then begin
+    let n = max (2 * cap) (p + 1) in
     let grow a =
       let b = Array.make n (-1) in
       Array.blit a 0 b 0 cap;
@@ -86,23 +107,40 @@ let line_state t line =
   match Hashtbl.find_opt t.lines line with
   | Some ls -> ls
   | None ->
-    let ls = { seq = Vec.create ~dummy:(-1); pending_upto = 0; guaranteed_upto = 0 } in
+    let ls = { seq = Vec.create ~dummy:(-1) (); dropped = 0;
+               pending_upto = 0; guaranteed_upto = 0 } in
     Hashtbl.add t.lines line ls;
     ls
+
+(* Absolute number of stores ever fed on the line / absolute get. *)
+let[@inline] seq_len ls = ls.dropped + Vec.length ls.seq
+let[@inline] seq_get ls i = Vec.get ls.seq (i - ls.dropped)
+
+(* Keep the guaranteed fringe retained in [seq] bounded: once it exceeds
+   this, the prefix is blitted away. Amortized O(1) per store. *)
+let compact_threshold = 1024
+
+let compact ls =
+  let excess = ls.guaranteed_upto - ls.dropped in
+  if excess >= compact_threshold then begin
+    Vec.drop_front ls.seq excess;
+    ls.dropped <- ls.guaranteed_upto
+  end
 
 let on_store_tid t tid =
   let line = Pmem.line_of_addr (Trace.addr_at t.trace tid) in
   let ls = line_state t line in
-  ensure t tid;
-  t.pos_line.(tid) <- line;
-  t.pos_idx.(tid) <- Vec.length ls.seq;
+  let p = pos t tid in
+  ensure t p;
+  t.pos_line.(p) <- line;
+  t.pos_idx.(p) <- seq_len ls;
   Vec.push ls.seq tid;
   t.n_dirty <- t.n_dirty + 1
 
 let on_flush t line =
   let ls = line_state t line in
-  if ls.pending_upto < Vec.length ls.seq then begin
-    ls.pending_upto <- Vec.length ls.seq;
+  if ls.pending_upto < seq_len ls then begin
+    ls.pending_upto <- seq_len ls;
     t.touched <- line :: t.touched
   end
 
@@ -112,7 +150,7 @@ let on_fence t =
     (fun line ->
        let ls = line_state t line in
        for i = ls.guaranteed_upto to ls.pending_upto - 1 do
-         let tid = Vec.get ls.seq i in
+         let tid = seq_get ls i in
          Trace.store_write t.trace tid t.persisted;
          (* Incremental content digest of [persisted]: same guaranteed
             store sequence => same digest. Identical content reached by
@@ -120,10 +158,13 @@ let on_fence t =
             a missed memo hit, never a wrong one. *)
          t.digest <- Trace.store_mix t.trace t.digest tid;
          t.n_guaranteed <- t.n_guaranteed + 1;
-         t.n_dirty <- t.n_dirty - 1
+         t.n_dirty <- t.n_dirty - 1;
+         match t.on_guarantee with None -> () | Some f -> f tid
        done;
-       if ls.guaranteed_upto < ls.pending_upto then
-         ls.guaranteed_upto <- ls.pending_upto)
+       if ls.guaranteed_upto < ls.pending_upto then begin
+         ls.guaranteed_upto <- ls.pending_upto;
+         compact ls
+       end)
     t.touched;
   t.touched <- []
 
@@ -144,15 +185,27 @@ let on_event t = function
   | Trace.Load _ | Trace.Log_range _ | Trace.Tx_begin _ | Trace.Tx_commit _
   | Trace.Tx_abort _ | Trace.Op_begin _ | Trace.Op_end _ -> ()
 
-let fed t tid = tid >= 0 && tid < Array.length t.pos_idx && t.pos_idx.(tid) >= 0
+(* A tid below a windowed trace's live floor: its segment was retired,
+   which the streaming engine only allows once every store in it is
+   guaranteed (dirty stores pin their segment). Queries must not touch
+   its (recycled) slot, and may answer from the invariant instead. *)
+let[@inline] retired t tid = t.ring && tid < Trace.live_floor t.trace
+
+let fed t tid =
+  tid >= 0
+  && (retired t tid
+      || (let p = pos t tid in
+          p < Array.length t.pos_idx && t.pos_idx.(p) >= 0))
 
 let is_guaranteed t tid =
-  fed t tid
-  && (let ls = Hashtbl.find t.lines t.pos_line.(tid) in
-      t.pos_idx.(tid) < ls.guaranteed_upto)
+  retired t tid
+  || (fed t tid
+      && (let p = pos t tid in
+          let ls = Hashtbl.find t.lines t.pos_line.(p) in
+          t.pos_idx.(p) < ls.guaranteed_upto))
 
 let store_event t tid =
-  if not (fed t tid) then None
+  if retired t tid || not (fed t tid) then None
   else match Trace.get t.trace tid with
     | Trace.Store s -> Some s
     | _ -> None
@@ -164,13 +217,14 @@ let n_dirty t = t.n_dirty
    the minimal extra persist-set making [tid] durable (x86-TSO per-line
    order). Returns tids in program order. *)
 let closure_one t tid =
-  if not (fed t tid) then []
+  if retired t tid || not (fed t tid) then []
   else begin
-    let ls = Hashtbl.find t.lines t.pos_line.(tid) in
-    let p_idx = t.pos_idx.(tid) in
+    let p = pos t tid in
+    let ls = Hashtbl.find t.lines t.pos_line.(p) in
+    let p_idx = t.pos_idx.(p) in
     let rec collect i acc =
       if i > p_idx then List.rev acc
-      else collect (i + 1) (Vec.get ls.seq i :: acc)
+      else collect (i + 1) (seq_get ls i :: acc)
     in
     collect ls.guaranteed_upto []
   end
@@ -250,7 +304,7 @@ let image_digest t img = Pmem.digest ~seed:t.digest img
 let dirty_per_line t =
   Hashtbl.fold
     (fun _line ls acc ->
-       let d = Vec.length ls.seq - ls.guaranteed_upto in
+       let d = seq_len ls - ls.guaranteed_upto in
        if d > 0 then d :: acc else acc)
     t.lines []
 
@@ -260,13 +314,13 @@ let dirty_per_line t =
 let random_feasible_extras t rng =
   Hashtbl.fold
     (fun _line ls acc ->
-       let d = Vec.length ls.seq - ls.guaranteed_upto in
+       let d = seq_len ls - ls.guaranteed_upto in
        if d = 0 then acc
        else begin
          let k = Random.State.int rng (d + 1) in
          let rec take i acc =
            if i >= k then acc
-           else take (i + 1) (Vec.get ls.seq (ls.guaranteed_upto + i) :: acc)
+           else take (i + 1) (seq_get ls (ls.guaranteed_upto + i) :: acc)
          in
          take 0 acc
        end)
@@ -279,12 +333,12 @@ let all_feasible_extras t ~limit =
   let per_line =
     Hashtbl.fold
       (fun _line ls acc ->
-         let d = Vec.length ls.seq - ls.guaranteed_upto in
+         let d = seq_len ls - ls.guaranteed_upto in
          if d = 0 then acc
          else begin
            let prefixes =
              List.init (d + 1) (fun k ->
-                 List.init k (fun i -> Vec.get ls.seq (ls.guaranteed_upto + i)))
+                 List.init k (fun i -> seq_get ls (ls.guaranteed_upto + i)))
            in
            prefixes :: acc
          end)

@@ -26,6 +26,7 @@ type t = {
   pmem : Pmem.t;
   mode : mode;
   trace : Trace.t;             (* empty and unused in Quiet mode *)
+  taints : bool;               (* false: record events, skip taint tracking *)
   mutable cd_stack : Taint.t list;
   mutable op_cd : Taint.t;     (* pointer-chase guards, cleared per op *)
   mutable cd : Taint.t;        (* cached union of cd_stack + op_cd *)
@@ -37,8 +38,20 @@ type t = {
          the fence-batched checker to decide verdict inheritance *)
 }
 
-let create ?(boxed = false) ?(fuel = 100_000_000) ~mode pmem =
-  { pmem; mode; trace = Trace.create ~boxed (); cd_stack = [];
+(* [trace] records into a caller-supplied trace (the streaming engine
+   passes a windowed ring). [taintless] appends the identical event
+   sequence — same tids, same payloads — but with empty taints and no
+   guard bookkeeping: the streaming validation pass re-executes the
+   deterministic workload only to regenerate event positions and store
+   payloads, and never reads dependence edges, so it skips their cost. *)
+let create ?(boxed = false) ?(fuel = 100_000_000) ?trace ?events_hint
+    ?(taintless = false) ~mode pmem =
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> Trace.create ~boxed ?events_hint ()
+  in
+  { pmem; mode; trace; taints = not taintless; cd_stack = [];
     op_cd = Taint.empty; cd = Taint.empty; op = -1; fuel; tx_counter = 0;
     rtrack = None }
 
@@ -69,7 +82,7 @@ let read_u64 t ~sid addr =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:8 ~cd:t.cd
         ~op:t.op
     in
-    Tv.make ~taint:(Taint.singleton tid) v
+    if t.taints then Tv.make ~taint:(Taint.singleton tid) v else Tv.const v
   end
   else Tv.const v
 
@@ -82,7 +95,7 @@ let read_u8 t ~sid addr =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:1 ~cd:t.cd
         ~op:t.op
     in
-    Tv.make ~taint:(Taint.singleton tid) v
+    if t.taints then Tv.make ~taint:(Taint.singleton tid) v else Tv.const v
   end
   else Tv.const v
 
@@ -95,7 +108,7 @@ let read_bytes t ~sid addr len =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len ~cd:t.cd
         ~op:t.op
     in
-    Tv.blob ~taint:(Taint.singleton tid) s
+    if t.taints then Tv.blob ~taint:(Taint.singleton tid) s else Tv.blob s
   end
   else Tv.blob s
 
@@ -232,10 +245,13 @@ let read_ptr t ~sid addr =
       Trace.add_load t.trace ~sid:(Sid.intern sid) ~addr ~len:8 ~cd:t.cd
         ~op:t.op
     in
-    let taint = Taint.singleton tid in
-    t.op_cd <- Taint.union t.op_cd taint;
-    t.cd <- Taint.union t.cd taint;
-    Tv.make ~taint v
+    if t.taints then begin
+      let taint = Taint.singleton tid in
+      t.op_cd <- Taint.union t.op_cd taint;
+      t.cd <- Taint.union t.cd taint;
+      Tv.make ~taint v
+    end
+    else Tv.const v
   end
   else Tv.const v
 

@@ -18,7 +18,7 @@
 type t = int
 
 let table : (string, int) Hashtbl.t = Hashtbl.create 512
-let names : string Vec.t = Vec.create ~dummy:""
+let names : string Vec.t = Vec.create ~dummy:"" ()
 
 (* id 0 is always the empty sid, so the memo's initial state is valid *)
 let () =

@@ -93,9 +93,60 @@ type soa = {
   descs : string Vec.t;          (* op_begin descriptions *)
 }
 
+(* Ring representation: the streaming pipeline's bounded-memory trace. A
+   sequence of fixed-size SoA segments (2^seg_shift events each) indexed
+   by slot; [retire_to] recycles a contiguous prefix of segments once the
+   engine no longer needs them, so a million-op ingest holds only the
+   sliding window (plus pinned segments) live. Tids keep their global
+   meaning — accessors on a retired tid raise [Retired] loudly instead of
+   silently returning recycled data. *)
+
+exception Retired of { tid : int; floor : int }
+
+let () =
+  Printexc.register_printer (function
+    | Retired { tid; floor } ->
+      Some
+        (Printf.sprintf
+           "Nvm.Trace.Retired: tid %d is below the live floor %d (the \
+            windowed trace recycled its segment; raise the streaming \
+            window)"
+           tid floor)
+    | _ -> None)
+
+type rseg = {
+  mutable r_base : int;          (* tid of index 0; -1 while on the free list *)
+  r_phys : int;                  (* stable physical id (see [slot_pos]) *)
+  r_kind : Bytes.t;
+  r_sid : int array;
+  r_a : int array;
+  r_b : int array;
+  r_op : int array;
+  r_aux : int array;
+  r_dd : Taint.t array;
+  r_cd : Taint.t array;
+  mutable r_arena : Bytes.t;
+  mutable r_arena_len : int;
+  r_descs : string Vec.t;
+  mutable r_min_taint : int;     (* oldest load any event in the seg references *)
+  mutable r_pins : int;          (* external pins (e.g. dirty-store payloads) *)
+}
+
+type ring = {
+  rg_shift : int;
+  rg_mask : int;
+  mutable rg_slots : rseg option array;  (* seg_id mod n_slots -> segment *)
+  mutable rg_free : rseg list;
+  mutable rg_floor : int;                (* first live tid *)
+  mutable rg_phys : int;                 (* segments ever allocated *)
+  mutable rg_retired : int;              (* segments recycled so far *)
+  mutable rg_head : rseg option;         (* append cache: segment of len-1 *)
+}
+
 type repr =
   | Boxed of event Vec.t
   | Soa of soa
+  | Ring of ring
 
 type t = {
   repr : repr;
@@ -108,22 +159,42 @@ type t = {
 
 let dummy_event = Fence { n_tid = -1; n_sid = 0; n_op = -1 }
 
-let soa_create () =
-  { kind = Bytes.create 4096;
-    f_sid = Array.make 4096 0;
-    f_a = Array.make 4096 0;
-    f_b = Array.make 4096 0;
-    f_op = Array.make 4096 0;
-    f_aux = Array.make 4096 0;
-    f_dd = Array.make 4096 Taint.empty;
-    f_cd = Array.make 4096 Taint.empty;
-    arena = Bytes.create 8192;
+(* [cap] is a capacity hint (expected event count): a caller that knows
+   the trace size up front — the traffic generator does — preallocates
+   the columns once instead of paying log2(n) grow-and-copy passes. *)
+let soa_create ?(cap = 4096) () =
+  let cap = max 4096 cap in
+  { kind = Bytes.create cap;
+    f_sid = Array.make cap 0;
+    f_a = Array.make cap 0;
+    f_b = Array.make cap 0;
+    f_op = Array.make cap 0;
+    f_aux = Array.make cap 0;
+    f_dd = Array.make cap Taint.empty;
+    f_cd = Array.make cap Taint.empty;
+    arena = Bytes.create (2 * cap);
     arena_len = 0;
-    descs = Vec.create ~dummy:"" }
+    descs = Vec.create ~dummy:"" () }
 
-let create ?(boxed = false) () =
-  { repr = (if boxed then Boxed (Vec.create ~dummy:dummy_event) else Soa (soa_create ()));
-    len = 0; n_loads = 0; n_stores = 0; n_flushes = 0; n_fences = 0 }
+let ring_create shift =
+  if shift < 4 || shift > 24 then invalid_arg "Trace.create: ring_shift";
+  Ring
+    { rg_shift = shift; rg_mask = (1 lsl shift) - 1;
+      rg_slots = Array.make 16 None; rg_free = []; rg_floor = 0;
+      rg_phys = 0; rg_retired = 0; rg_head = None }
+
+(* [ring_shift]: use the windowed ring representation with segments of
+   2^ring_shift events. [events_hint]: expected total event count, used
+   to presize the SoA columns. *)
+let create ?(boxed = false) ?events_hint ?ring_shift () =
+  let repr =
+    if boxed then Boxed (Vec.create ~dummy:dummy_event ())
+    else
+      match ring_shift with
+      | Some shift -> ring_create shift
+      | None -> Soa (soa_create ?cap:events_hint ())
+  in
+  { repr; len = 0; n_loads = 0; n_stores = 0; n_flushes = 0; n_fences = 0 }
 
 let length t = t.len
 let next_tid t = t.len
@@ -166,6 +237,184 @@ let arena_reserve s n =
   s.arena_len <- off + n;
   off
 
+(* ---------- ring internals ---------- *)
+
+let rseg_alloc rg =
+  match rg.rg_free with
+  | s :: rest ->
+    rg.rg_free <- rest;
+    s
+  | [] ->
+    let n = 1 lsl rg.rg_shift in
+    let phys = rg.rg_phys in
+    rg.rg_phys <- phys + 1;
+    { r_base = -1; r_phys = phys;
+      r_kind = Bytes.create n;
+      r_sid = Array.make n 0; r_a = Array.make n 0; r_b = Array.make n 0;
+      r_op = Array.make n 0; r_aux = Array.make n 0;
+      r_dd = Array.make n Taint.empty; r_cd = Array.make n Taint.empty;
+      r_arena = Bytes.create (n * 8); r_arena_len = 0;
+      r_descs = Vec.create ~dummy:"" ();
+      r_min_taint = max_int; r_pins = 0 }
+
+(* Live segments always form one contiguous seg-id range (retirement is
+   prefix-only), so seg_id mod n_slots is injective as long as the live
+   span fits; double the slot table when it would not. *)
+let ring_grow_slots rg =
+  let slots = Array.make (2 * Array.length rg.rg_slots) None in
+  Array.iter
+    (function
+      | Some s ->
+        slots.((s.r_base lsr rg.rg_shift) mod Array.length slots) <- Some s
+      | None -> ())
+    rg.rg_slots;
+  rg.rg_slots <- slots
+
+(* Open the segment that will hold [tid] (a segment boundary). *)
+let ring_open rg tid =
+  let seg_id = tid lsr rg.rg_shift in
+  while seg_id - (rg.rg_floor lsr rg.rg_shift) + 1 > Array.length rg.rg_slots
+  do ring_grow_slots rg done;
+  let s = rseg_alloc rg in
+  s.r_base <- seg_id lsl rg.rg_shift;
+  s.r_min_taint <- max_int;
+  s.r_pins <- 0;
+  s.r_arena_len <- 0;
+  Vec.clear s.r_descs;
+  rg.rg_slots.(seg_id mod Array.length rg.rg_slots) <- Some s;
+  rg.rg_head <- Some s;
+  s
+
+(* Segment for appending at [tid]; appends are strictly sequential. *)
+let ring_rw rg tid =
+  if tid land rg.rg_mask = 0 then ring_open rg tid
+  else
+    match rg.rg_head with
+    | Some s when s.r_base = tid land lnot rg.rg_mask -> s
+    | _ -> ring_open rg tid
+
+(* Segment holding live tid [tid]; raises on retired tids. *)
+let ring_ro rg tid =
+  if tid < rg.rg_floor then raise (Retired { tid; floor = rg.rg_floor });
+  match rg.rg_slots.((tid lsr rg.rg_shift) mod Array.length rg.rg_slots) with
+  | Some s when s.r_base = tid land lnot rg.rg_mask -> s
+  | _ -> raise (Retired { tid; floor = rg.rg_floor })
+
+let ring_note_taint s taint =
+  if not (Taint.is_empty taint) then begin
+    let m = Taint.min_elt taint in
+    if m < s.r_min_taint then s.r_min_taint <- m
+  end
+
+let ring_arena_reserve s n =
+  let cap = Bytes.length s.r_arena in
+  if s.r_arena_len + n > cap then begin
+    let newcap = max (2 * cap) (s.r_arena_len + n) in
+    let b = Bytes.create newcap in
+    Bytes.blit s.r_arena 0 b 0 s.r_arena_len;
+    s.r_arena <- b
+  end;
+  let off = s.r_arena_len in
+  s.r_arena_len <- off + n;
+  off
+
+(* ---------- windowed retirement (ring only) ---------- *)
+
+let live_floor t = match t.repr with Ring rg -> rg.rg_floor | _ -> 0
+
+let retired_segments t =
+  match t.repr with Ring rg -> rg.rg_retired | _ -> 0
+
+let is_live t tid =
+  tid >= 0 && tid < t.len
+  && (match t.repr with Ring rg -> tid >= rg.rg_floor | _ -> true)
+
+let seg_events t = match t.repr with Ring rg -> 1 lsl rg.rg_shift | _ -> 0
+
+(* Pin/unpin the segment containing [tid]: a pinned segment survives
+   [retire_to] no matter how far the window slides. The streaming engine
+   pins segments holding dirty (never-persisted) stores, whose payloads
+   crash-image materialization may still need arbitrarily late. *)
+let pin t tid =
+  match t.repr with
+  | Ring rg ->
+    let s = ring_ro rg tid in
+    s.r_pins <- s.r_pins + 1
+  | _ -> ()
+
+let unpin t tid =
+  match t.repr with
+  | Ring rg ->
+    let s = ring_ro rg tid in
+    if s.r_pins > 0 then s.r_pins <- s.r_pins - 1
+  | _ -> ()
+
+(* A stable dense index for live tids: phys-segment id * seg size + the
+   offset within the segment. Bounded by [slot_capacity], valid until
+   the tid's segment is retired — side tables (Crash_sim's position
+   maps) keyed by it stay O(window) instead of O(trace). *)
+let slot_pos t tid =
+  match t.repr with
+  | Ring rg ->
+    let s = ring_ro rg tid in
+    (s.r_phys lsl rg.rg_shift) lor (tid land rg.rg_mask)
+  | _ -> tid
+
+let slot_capacity t =
+  match t.repr with Ring rg -> rg.rg_phys lsl rg.rg_shift | _ -> t.len
+
+(* Retire (recycle) the longest contiguous prefix of segments that lie
+   wholly below [target], skipping any segment that is pinned or that a
+   newer live event still taint-references (a condition spanning the
+   window boundary pins its segment). Returns the number of segments
+   retired. *)
+let retire_to t ~target =
+  match t.repr with
+  | Boxed _ | Soa _ -> 0
+  | Ring rg ->
+    if t.len = 0 then 0
+    else begin
+      let shift = rg.rg_shift in
+      let lo = rg.rg_floor lsr shift and hi = (t.len - 1) lsr shift in
+      let n = hi - lo + 1 in
+      (* min_after.(i - lo) = oldest taint referenced by any segment newer
+         than seg i *)
+      let min_after = Array.make n max_int in
+      let acc = ref max_int in
+      for id = hi downto lo do
+        min_after.(id - lo) <- !acc;
+        (match rg.rg_slots.(id mod Array.length rg.rg_slots) with
+         | Some s when s.r_base = id lsl shift ->
+           if s.r_min_taint < !acc then acc := s.r_min_taint
+         | _ -> ())
+      done;
+      let retired = ref 0 in
+      let continue_ = ref true in
+      let id = ref lo in
+      (* never retire the head (still-appending) segment *)
+      while !continue_ && !id < hi do
+        let seg_end = (!id + 1) lsl shift in
+        (match rg.rg_slots.(!id mod Array.length rg.rg_slots) with
+         | Some s when s.r_base = !id lsl shift ->
+           if seg_end <= target && s.r_pins = 0
+              && min_after.(!id - lo) >= seg_end
+           then begin
+             rg.rg_slots.(!id mod Array.length rg.rg_slots) <- None;
+             s.r_base <- -1;
+             Array.fill s.r_dd 0 (Array.length s.r_dd) Taint.empty;
+             Array.fill s.r_cd 0 (Array.length s.r_cd) Taint.empty;
+             rg.rg_free <- s :: rg.rg_free;
+             rg.rg_floor <- seg_end;
+             rg.rg_retired <- rg.rg_retired + 1;
+             incr retired
+           end
+           else continue_ := false
+         | _ -> continue_ := false);
+        incr id
+      done;
+      !retired
+    end
+
 (* ---------- fast append API (used by Ctx's recording paths) ---------- *)
 
 let add_load t ~sid ~addr ~len ~cd ~op =
@@ -180,7 +429,14 @@ let add_load t ~sid ~addr ~len ~cd ~op =
      soa_ensure s tid;
      Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_load);
      s.f_sid.(tid) <- sid; s.f_a.(tid) <- addr; s.f_b.(tid) <- len;
-     s.f_op.(tid) <- op; s.f_cd.(tid) <- cd);
+     s.f_op.(tid) <- op; s.f_cd.(tid) <- cd
+   | Ring rg ->
+     let s = ring_rw rg tid in
+     let i = tid land rg.rg_mask in
+     Bytes.unsafe_set s.r_kind i (Char.unsafe_chr k_load);
+     s.r_sid.(i) <- sid; s.r_a.(i) <- addr; s.r_b.(i) <- len;
+     s.r_op.(i) <- op; s.r_cd.(i) <- cd;
+     ring_note_taint s cd);
   t.len <- tid + 1;
   tid
 
@@ -189,6 +445,15 @@ let soa_store_fields s tid ~sid ~addr ~len ~off ~dd ~cd ~op =
   s.f_sid.(tid) <- sid; s.f_a.(tid) <- addr; s.f_b.(tid) <- len;
   s.f_op.(tid) <- op; s.f_aux.(tid) <- off;
   s.f_dd.(tid) <- dd; s.f_cd.(tid) <- cd
+
+let ring_store_fields rg s tid ~sid ~addr ~len ~off ~dd ~cd ~op =
+  let i = tid land rg.rg_mask in
+  Bytes.unsafe_set s.r_kind i (Char.unsafe_chr k_store);
+  s.r_sid.(i) <- sid; s.r_a.(i) <- addr; s.r_b.(i) <- len;
+  s.r_op.(i) <- op; s.r_aux.(i) <- off;
+  s.r_dd.(i) <- dd; s.r_cd.(i) <- cd;
+  ring_note_taint s dd;
+  ring_note_taint s cd
 
 (* Append a store whose payload is [src[src_off .. src_off+len)]. *)
 let add_store_sub t ~sid ~addr ~src ~src_off ~len ~dd ~cd ~op =
@@ -204,7 +469,12 @@ let add_store_sub t ~sid ~addr ~src ~src_off ~len ~dd ~cd ~op =
      soa_ensure s tid;
      let off = arena_reserve s len in
      Bytes.blit_string src src_off s.arena off len;
-     soa_store_fields s tid ~sid ~addr ~len ~off ~dd ~cd ~op);
+     soa_store_fields s tid ~sid ~addr ~len ~off ~dd ~cd ~op
+   | Ring rg ->
+     let s = ring_rw rg tid in
+     let off = ring_arena_reserve s len in
+     Bytes.blit_string src src_off s.r_arena off len;
+     ring_store_fields rg s tid ~sid ~addr ~len ~off ~dd ~cd ~op);
   t.len <- tid + 1;
   tid
 
@@ -225,7 +495,12 @@ let add_store_u64 t ~sid ~addr ~v ~dd ~cd ~op =
      soa_ensure s tid;
      let off = arena_reserve s 8 in
      Bytes.set_int64_le s.arena off (Int64.of_int v);
-     soa_store_fields s tid ~sid ~addr ~len:8 ~off ~dd ~cd ~op);
+     soa_store_fields s tid ~sid ~addr ~len:8 ~off ~dd ~cd ~op
+   | Ring rg ->
+     let s = ring_rw rg tid in
+     let off = ring_arena_reserve s 8 in
+     Bytes.set_int64_le s.r_arena off (Int64.of_int v);
+     ring_store_fields rg s tid ~sid ~addr ~len:8 ~off ~dd ~cd ~op);
   t.len <- tid + 1;
   tid
 
@@ -238,7 +513,12 @@ let add_flush t ~sid ~line ~op =
    | Soa s ->
      soa_ensure s tid;
      Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_flush);
-     s.f_sid.(tid) <- sid; s.f_a.(tid) <- line; s.f_op.(tid) <- op);
+     s.f_sid.(tid) <- sid; s.f_a.(tid) <- line; s.f_op.(tid) <- op
+   | Ring rg ->
+     let s = ring_rw rg tid in
+     let i = tid land rg.rg_mask in
+     Bytes.unsafe_set s.r_kind i (Char.unsafe_chr k_flush);
+     s.r_sid.(i) <- sid; s.r_a.(i) <- line; s.r_op.(i) <- op);
   t.len <- tid + 1;
   tid
 
@@ -250,7 +530,12 @@ let add_fence t ~sid ~op =
    | Soa s ->
      soa_ensure s tid;
      Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_fence);
-     s.f_sid.(tid) <- sid; s.f_op.(tid) <- op);
+     s.f_sid.(tid) <- sid; s.f_op.(tid) <- op
+   | Ring rg ->
+     let s = ring_rw rg tid in
+     let i = tid land rg.rg_mask in
+     Bytes.unsafe_set s.r_kind i (Char.unsafe_chr k_fence);
+     s.r_sid.(i) <- sid; s.r_op.(i) <- op);
   t.len <- tid + 1;
   tid
 
@@ -312,12 +597,54 @@ let push t ev =
        Bytes.unsafe_set s.kind tid (Char.unsafe_chr k_op_end);
        s.f_op.(tid) <- o.o_index;
        t.len <- tid + 1)
+  | Ring rg ->
+    let tid = t.len in
+    let simple kind ~sid ~a ~b ~op ~aux =
+      let s = ring_rw rg tid in
+      let i = tid land rg.rg_mask in
+      Bytes.unsafe_set s.r_kind i (Char.unsafe_chr kind);
+      s.r_sid.(i) <- sid; s.r_a.(i) <- a; s.r_b.(i) <- b;
+      s.r_op.(i) <- op; s.r_aux.(i) <- aux;
+      t.len <- tid + 1
+    in
+    (match ev with
+     | Load l ->
+       ignore (add_load t ~sid:l.l_sid ~addr:l.l_addr ~len:l.l_len
+                 ~cd:l.l_cd ~op:l.l_op)
+     | Store st ->
+       ignore (add_store_sub t ~sid:st.s_sid ~addr:st.s_addr ~src:st.s_data
+                 ~src_off:0 ~len:(String.length st.s_data) ~dd:st.s_dd
+                 ~cd:st.s_cd ~op:st.s_op)
+     | Flush f -> ignore (add_flush t ~sid:f.f_sid ~line:f.f_line ~op:f.f_op)
+     | Fence f -> ignore (add_fence t ~sid:f.n_sid ~op:f.n_op)
+     | Log_range g ->
+       simple k_log_range ~sid:g.g_sid ~a:g.g_addr ~b:g.g_len ~op:g.g_op
+         ~aux:g.g_tx
+     | Tx_begin { t_tx; t_op; _ } ->
+       simple k_tx_begin ~sid:0 ~a:0 ~b:0 ~op:t_op ~aux:t_tx
+     | Tx_commit { t_tx; t_op; _ } ->
+       simple k_tx_commit ~sid:0 ~a:0 ~b:0 ~op:t_op ~aux:t_tx
+     | Tx_abort { t_tx; t_op; _ } ->
+       simple k_tx_abort ~sid:0 ~a:0 ~b:0 ~op:t_op ~aux:t_tx
+     | Op_begin o ->
+       let s = ring_rw rg tid in
+       let i = tid land rg.rg_mask in
+       Bytes.unsafe_set s.r_kind i (Char.unsafe_chr k_op_begin);
+       s.r_sid.(i) <- 0; s.r_b.(i) <- 0; s.r_aux.(i) <- 0;
+       s.r_a.(i) <- Vec.length s.r_descs;
+       Vec.push s.r_descs o.o_desc;
+       s.r_op.(i) <- o.o_index;
+       t.len <- tid + 1
+     | Op_end o -> simple k_op_end ~sid:0 ~a:0 ~b:0 ~op:o.o_index ~aux:0)
 
 (* ---------- index-based fast reads (no allocation on SoA) ---------- *)
 
 let kind_at t i =
   match t.repr with
   | Soa s -> Char.code (Bytes.unsafe_get s.kind i)
+  | Ring rg ->
+    let s = ring_ro rg i in
+    Char.code (Bytes.unsafe_get s.r_kind (i land rg.rg_mask))
   | Boxed v ->
     (match Vec.get v i with
      | Load _ -> k_load | Store _ -> k_store | Flush _ -> k_flush
@@ -329,6 +656,7 @@ let kind_at t i =
 let sid_at t i =
   match t.repr with
   | Soa s -> s.f_sid.(i)
+  | Ring rg -> (ring_ro rg i).r_sid.(i land rg.rg_mask)
   | Boxed v ->
     (match Vec.get v i with
      | Load l -> l.l_sid | Store s -> s.s_sid | Flush f -> f.f_sid
@@ -339,6 +667,7 @@ let sid_at t i =
 let addr_at t i =
   match t.repr with
   | Soa s -> s.f_a.(i)
+  | Ring rg -> (ring_ro rg i).r_a.(i land rg.rg_mask)
   | Boxed v ->
     (match Vec.get v i with
      | Load l -> l.l_addr | Store s -> s.s_addr | Flush f -> f.f_line
@@ -349,6 +678,7 @@ let addr_at t i =
 let len_at t i =
   match t.repr with
   | Soa s -> s.f_b.(i)
+  | Ring rg -> (ring_ro rg i).r_b.(i land rg.rg_mask)
   | Boxed v ->
     (match Vec.get v i with
      | Load l -> l.l_len | Store s -> s.s_len | Log_range g -> g.g_len
@@ -357,6 +687,7 @@ let len_at t i =
 let op_at t i =
   match t.repr with
   | Soa s -> s.f_op.(i)
+  | Ring rg -> (ring_ro rg i).r_op.(i land rg.rg_mask)
   | Boxed v ->
     (match Vec.get v i with
      | Load l -> l.l_op | Store s -> s.s_op | Flush f -> f.f_op
@@ -367,6 +698,7 @@ let op_at t i =
 let tx_at t i =
   match t.repr with
   | Soa s -> s.f_aux.(i)
+  | Ring rg -> (ring_ro rg i).r_aux.(i land rg.rg_mask)
   | Boxed v ->
     (match Vec.get v i with
      | Log_range g -> g.g_tx
@@ -376,11 +708,13 @@ let tx_at t i =
 let dd_at t i =
   match t.repr with
   | Soa s -> s.f_dd.(i)
+  | Ring rg -> (ring_ro rg i).r_dd.(i land rg.rg_mask)
   | Boxed v -> (match Vec.get v i with Store s -> s.s_dd | _ -> Taint.empty)
 
 let cd_at t i =
   match t.repr with
   | Soa s -> s.f_cd.(i)
+  | Ring rg -> (ring_ro rg i).r_cd.(i land rg.rg_mask)
   | Boxed v ->
     (match Vec.get v i with
      | Store s -> s.s_cd | Load l -> l.l_cd | _ -> Taint.empty)
@@ -388,6 +722,10 @@ let cd_at t i =
 let store_data t i =
   match t.repr with
   | Soa s -> Bytes.sub_string s.arena s.f_aux.(i) s.f_b.(i)
+  | Ring rg ->
+    let s = ring_ro rg i in
+    let j = i land rg.rg_mask in
+    Bytes.sub_string s.r_arena s.r_aux.(j) s.r_b.(j)
   | Boxed v ->
     (match Vec.get v i with
      | Store s -> s.s_data
@@ -403,6 +741,11 @@ let store_write t i pmem =
        through it. *)
     Pmem.write_sub pmem s.f_a.(i) (Bytes.unsafe_to_string s.arena)
       s.f_aux.(i) s.f_b.(i)
+  | Ring rg ->
+    let s = ring_ro rg i in
+    let j = i land rg.rg_mask in
+    Pmem.write_sub pmem s.r_a.(j) (Bytes.unsafe_to_string s.r_arena)
+      s.r_aux.(j) s.r_b.(j)
   | Boxed v ->
     (match Vec.get v i with
      | Store s -> Pmem.write_bytes pmem s.s_addr s.s_data
@@ -415,6 +758,11 @@ let store_mix t h i =
   | Soa s ->
     Pmem.mix_sub (Pmem.mix h s.f_a.(i)) (Bytes.unsafe_to_string s.arena)
       s.f_aux.(i) s.f_b.(i)
+  | Ring rg ->
+    let s = ring_ro rg i in
+    let j = i land rg.rg_mask in
+    Pmem.mix_sub (Pmem.mix h s.r_a.(j)) (Bytes.unsafe_to_string s.r_arena)
+      s.r_aux.(j) s.r_b.(j)
   | Boxed v ->
     (match Vec.get v i with
      | Store s -> Pmem.mix_string (Pmem.mix h s.s_addr) s.s_data
@@ -445,21 +793,52 @@ let soa_get s i =
                o_desc = Vec.get s.descs s.f_a.(i) }
   | _ -> Op_end { o_tid = i; o_index = s.f_op.(i) }
 
+let ring_get rg tid =
+  let s = ring_ro rg tid in
+  let i = tid land rg.rg_mask in
+  match Char.code (Bytes.unsafe_get s.r_kind i) with
+  | 0 ->
+    Load { l_tid = tid; l_sid = s.r_sid.(i); l_addr = s.r_a.(i);
+           l_len = s.r_b.(i); l_cd = s.r_cd.(i); l_op = s.r_op.(i) }
+  | 1 ->
+    Store { s_tid = tid; s_sid = s.r_sid.(i); s_addr = s.r_a.(i);
+            s_len = s.r_b.(i);
+            s_data = Bytes.sub_string s.r_arena s.r_aux.(i) s.r_b.(i);
+            s_dd = s.r_dd.(i); s_cd = s.r_cd.(i); s_op = s.r_op.(i) }
+  | 2 -> Flush { f_tid = tid; f_sid = s.r_sid.(i); f_line = s.r_a.(i);
+                 f_op = s.r_op.(i) }
+  | 3 -> Fence { n_tid = tid; n_sid = s.r_sid.(i); n_op = s.r_op.(i) }
+  | 4 ->
+    Log_range { g_tid = tid; g_sid = s.r_sid.(i); g_addr = s.r_a.(i);
+                g_len = s.r_b.(i); g_tx = s.r_aux.(i); g_op = s.r_op.(i) }
+  | 5 -> Tx_begin { t_tid = tid; t_tx = s.r_aux.(i); t_op = s.r_op.(i) }
+  | 6 -> Tx_commit { t_tid = tid; t_tx = s.r_aux.(i); t_op = s.r_op.(i) }
+  | 7 -> Tx_abort { t_tid = tid; t_tx = s.r_aux.(i); t_op = s.r_op.(i) }
+  | 8 ->
+    Op_begin { o_tid = tid; o_index = s.r_op.(i);
+               o_desc = Vec.get s.r_descs s.r_a.(i) }
+  | _ -> Op_end { o_tid = tid; o_index = s.r_op.(i) }
+
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Trace.get";
   match t.repr with
   | Boxed v -> Vec.get v i
   | Soa s -> soa_get s i
+  | Ring rg -> ring_get rg i
 
+(* On the ring representation, [iter]/[iteri] cover only the live window
+   (retired prefixes are gone by construction). *)
 let iter f t =
   match t.repr with
   | Boxed v -> Vec.iter f v
   | Soa s -> for i = 0 to t.len - 1 do f (soa_get s i) done
+  | Ring rg -> for i = rg.rg_floor to t.len - 1 do f (ring_get rg i) done
 
 let iteri f t =
   match t.repr with
   | Boxed v -> Vec.iteri f v
   | Soa s -> for i = 0 to t.len - 1 do f i (soa_get s i) done
+  | Ring rg -> for i = rg.rg_floor to t.len - 1 do f i (ring_get rg i) done
 
 let tid_of = function
   | Load l -> l.l_tid
@@ -487,7 +866,8 @@ let op_of = function
 
 let stats t = (t.n_loads, t.n_stores, t.n_flushes, t.n_fences)
 
-let is_boxed t = match t.repr with Boxed _ -> true | Soa _ -> false
+let is_boxed t = match t.repr with Boxed _ -> true | _ -> false
+let is_ring t = match t.repr with Ring _ -> true | _ -> false
 
 let pp_event ppf = function
   | Load l -> Fmt.pf ppf "%6d L  %a @%d+%d" l.l_tid Sid.pp l.l_sid l.l_addr l.l_len

@@ -8,7 +8,11 @@ type 'a t = {
   dummy : 'a;
 }
 
-let create ~dummy = { data = Array.make 16 dummy; len = 0; dummy }
+(* [capacity] preallocates the backing array: bulk ingest (the traffic
+   generator's million-op traces) passes its expected size so the push
+   loop never pays a large grow-and-copy. *)
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max 16 capacity) dummy; len = 0; dummy }
 
 let length t = t.len
 
@@ -28,6 +32,17 @@ let push t v =
   end;
   t.data.(t.len) <- v;
   t.len <- t.len + 1
+
+(* Drop the first [k] elements, shifting the rest down in place and
+   clearing the tail (so dropped boxed values can be collected). Backs
+   Crash_sim's per-line sequence compaction. *)
+let drop_front t k =
+  if k < 0 || k > t.len then invalid_arg "Vec.drop_front";
+  if k > 0 then begin
+    Array.blit t.data k t.data 0 (t.len - k);
+    Array.fill t.data (t.len - k) k t.dummy;
+    t.len <- t.len - k
+  end
 
 let iter f t =
   for i = 0 to t.len - 1 do

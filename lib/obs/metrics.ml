@@ -84,6 +84,33 @@ let set_gauge ?(m = default) name v =
   | Some r -> r := v
   | None -> Hashtbl.add m.gauges name (ref v)
 
+(* Peak-tracking gauge: keeps the maximum value ever set. [merge] already
+   combines gauges with Float.max, so per-worker peaks aggregate into the
+   campaign-wide peak for free. *)
+let set_gauge_max ?(m = default) name v =
+  match Hashtbl.find_opt m.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add m.gauges name (ref v)
+
+(* Live-heap observability (the streaming pipeline's memory bound is
+   proved with these): [mem.heap_words] / [mem.live_words] are the current
+   GC heap and live words, [mem.peak_heap_words] / [mem.peak_live_words]
+   their maxima over the sampled points. [~full:true] runs [Gc.stat] — a
+   full major collection, accurate live-word count, expensive — so hot
+   loops sample with the default cheap [Gc.quick_stat] (heap words only)
+   and reserve full samples for phase boundaries. *)
+let sample_mem ?(m = default) ?(full = false) () =
+  let q = Gc.quick_stat () in
+  let heap = float_of_int q.Gc.heap_words in
+  set_gauge ~m "mem.heap_words" heap;
+  set_gauge_max ~m "mem.peak_heap_words" heap;
+  if full then begin
+    let s = Gc.stat () in
+    let live = float_of_int s.Gc.live_words in
+    set_gauge ~m "mem.live_words" live;
+    set_gauge_max ~m "mem.peak_live_words" live
+  end
+
 let observe ?(m = default) ?(ev = -1) name v =
   let h =
     match Hashtbl.find_opt m.hists name with

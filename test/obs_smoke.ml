@@ -177,12 +177,26 @@ let check_metrics dir (records : C.Journal.record list) =
         if s <> merged then
           fail "report.json metrics differ from merged journal snapshots"));
   (* (b) merge exactness: a single process re-running every job observes
-     exactly the merged per-worker totals *)
-  let single =
-    M.merge_all
-      (List.map (fun (r : C.Journal.record) -> run_spec_in_process r.spec)
-         records)
+     exactly the merged per-worker totals. Memory gauges (the mem.
+     namespace) are GC-sampled and legitimately differ across processes,
+     so they are asserted present but excluded from the comparison. *)
+  (match List.assoc_opt "mem.peak_heap_words" merged.M.gauges with
+   | Some v when v > 0. -> ()
+   | _ -> fail "merged metrics carry no mem.peak_heap_words gauge");
+  let strip_mem (s : M.snapshot) =
+    { s with
+      M.gauges =
+        List.filter
+          (fun (k, _) -> not (String.length k >= 4 && String.sub k 0 4 = "mem."))
+          s.M.gauges }
   in
+  let single =
+    strip_mem
+      (M.merge_all
+         (List.map (fun (r : C.Journal.record) -> run_spec_in_process r.spec)
+            records))
+  in
+  let merged = strip_mem merged in
   if single <> merged then begin
     prerr_endline "--- merged worker snapshots ---";
     prerr_endline (M.render merged);

@@ -294,6 +294,41 @@ let test_prebatch_journal_compat () =
   Alcotest.(check bool) "old key counts as completed for --resume" true
     (Hashtbl.mem done_ (C.Job.key s))
 
+(* Journals written before the streaming engine carry no "stream" member
+   in the result payload. They must still parse, aggregate with every
+   streaming column defaulting to 0 (and no streaming summary line in
+   the report), and count as completed for --resume. *)
+let test_prestream_journal_compat () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let s = spec "cceh" in
+  (* hand-written line, independent of today's encoders *)
+  let line =
+    {|{"key":"|} ^ C.Job.key s
+    ^ {|","job":{"store":"cceh","variant":"buggy","seed":1,"n_ops":40,"max_images":200},"status":"ok","t_wall":1.1,"result":{"store":"cceh","c_o":4,"c_a":1,"images_tested":90,"n_mismatch":7,"t_gen":0.2,"t_equiv":0.5}}|}
+  in
+  let oc = open_out path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  let records = C.Journal.load path in
+  Alcotest.(check int) "pre-stream line parses" 1 (List.length records);
+  let agg = C.Aggregate.of_records records in
+  Alcotest.(check int) "bug counts aggregate" 4 agg.total.c_o;
+  Alcotest.(check int) "stream_jobs defaults to 0" 0 agg.total.stream_jobs;
+  Alcotest.(check int) "window_retirements defaults to 0" 0
+    agg.total.window_retirements;
+  Alcotest.(check int) "ckpt_ring_evictions defaults to 0" 0
+    agg.total.ckpt_ring_evictions;
+  Alcotest.(check int) "peak_live_words defaults to 0" 0
+    agg.total.peak_live_words;
+  let txt = C.Aggregate.to_text agg in
+  Alcotest.(check bool) "report renders" true (String.length txt > 0);
+  Alcotest.(check bool) "no streaming summary for batch-only journals"
+    false (contains txt "streaming:");
+  let done_ = C.Journal.completed_keys records in
+  Alcotest.(check bool) "old key counts as completed for --resume" true
+    (Hashtbl.mem done_ (C.Job.key s))
+
 (* Journals written before the forensics event log (no --events, no
    events.jsonl next to them) must still parse, aggregate, and explain:
    `witcher explain` degrades to the journal's bug reports plus an
@@ -519,6 +554,8 @@ let suite =
       test_preprune_journal_compat;
     Alcotest.test_case "pre-batch journal still aggregates" `Quick
       test_prebatch_journal_compat;
+    Alcotest.test_case "pre-stream journal still aggregates" `Quick
+      test_prestream_journal_compat;
     Alcotest.test_case "pre-event journal still explains" `Quick
       test_preevent_journal_compat;
     Alcotest.test_case "failing job isolated from siblings" `Quick

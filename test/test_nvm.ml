@@ -11,7 +11,7 @@ let checkb = Alcotest.(check bool)
 (* --- Vec --- *)
 
 let test_vec () =
-  let v = Vec.create ~dummy:0 in
+  let v = Vec.create ~dummy:0 () in
   for i = 0 to 99 do Vec.push v i done;
   check "len" 100 (Vec.length v);
   check "get" 42 (Vec.get v 42);

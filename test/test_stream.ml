@@ -1,0 +1,179 @@
+(* Streaming engine: verdict parity with the batch engine, and the
+   windowed ring trace's retirement machinery.
+
+   The headline property (DESIGN §9): [Engine.run_stream] is a
+   bounded-memory re-plumbing of [Engine.run], not a different analysis —
+   over every registry store, random seeds and both pruning policies it
+   must produce the identical mismatch count, cluster reports and image
+   counts. The streaming config here uses a deliberately tiny window
+   (4 segments of 128 events) so a few-thousand-event trace retires
+   dozens of segments mid-run, plus a 2-deep checkpoint ring to force
+   evictions — parity must survive both. *)
+
+module W = Witcher
+module R = Stores.Registry
+module T = Nvm.Trace
+
+let stream_cfg base =
+  { base with
+    W.Engine.stream_seg_shift = 7;
+    stream_window = 4;
+    ckpt_ring = 2 }
+
+let cfg ~prune ~seed ~n_ops =
+  { W.Engine.default_cfg with
+    workload = { W.Workload.default with n_ops; seed };
+    crash = { W.Crash_gen.default_cfg with max_images = 1200 };
+    prune }
+
+(* Everything verdict-shaped in a result; timings and memory excluded. *)
+let fingerprint (r : W.Engine.result) =
+  ( ( r.n_mismatch, r.n_clusters, r.c_o, r.c_a,
+      r.images_generated, r.images_tested ),
+    List.sort compare r.all_clusters,
+    List.sort compare r.site_pairs,
+    List.sort compare r.bug_reports )
+
+let check_parity ~prune ~seed ~n_ops (e : R.entry) =
+  let c = cfg ~prune ~seed ~n_ops in
+  let batch = W.Engine.run ~cfg:c (e.buggy ()) in
+  let stream = W.Engine.run_stream ~cfg:(stream_cfg c) (e.buggy ()) in
+  if not stream.stream_on then
+    Alcotest.failf "%s: run_stream did not mark stream_on" e.name;
+  if fingerprint batch <> fingerprint stream then
+    Alcotest.failf
+      "%s seed=%d n=%d %s: stream/batch divergence \
+       (batch: %d mismatch %d clusters %d gen %d tested; \
+       stream: %d mismatch %d clusters %d gen %d tested)"
+      e.name seed n_ops
+      (Prune.Policy.name prune)
+      batch.n_mismatch batch.n_clusters batch.images_generated
+      batch.images_tested stream.n_mismatch stream.n_clusters
+      stream.images_generated stream.images_tested;
+  stream
+
+let parity_prop =
+  QCheck.Test.make ~count:2 ~name:"stream = batch on every store"
+    QCheck.(pair (int_range 1 10_000) (int_range 40 120))
+    (fun (seed, n_ops) ->
+       List.iter
+         (fun (e : R.entry) ->
+            List.iter
+              (fun prune ->
+                 ignore (check_parity ~prune ~seed ~n_ops e))
+              [ Prune.Policy.Exhaustive; Prune.Policy.Representative ])
+         R.all;
+       true)
+
+(* The tiny window must actually slide: with 4 x 128 live events and a
+   multi-thousand-event trace, retirement is guaranteed, as are
+   checkpoint-ring evictions with stride 32, ring 2 and 100+ ops. *)
+let test_stream_counters () =
+  let e =
+    List.find (fun (e : R.entry) -> e.R.name = "level-hash") R.all
+  in
+  let r =
+    check_parity ~prune:Prune.Policy.Exhaustive ~seed:7 ~n_ops:120 e
+  in
+  Alcotest.(check bool) "window retired segments" true
+    (r.window_retirements > 0);
+  Alcotest.(check bool) "checkpoint ring evicted" true
+    (r.ckpt_ring_evictions > 0);
+  Alcotest.(check bool) "peak live heap sampled" true
+    (r.peak_live_words > 0)
+
+let test_sample_policy_parity () =
+  let e = List.find (fun (e : R.entry) -> e.R.name = "cceh") R.all in
+  ignore
+    (check_parity ~prune:(Prune.Policy.Sample 7) ~seed:3 ~n_ops:100 e)
+
+(* Traffic-driven parity: the generator path (zipfian keys, preload,
+   bursts) through both engines. *)
+let test_traffic_parity () =
+  let e = List.find (fun (e : R.entry) -> e.R.name = "fast-fair") R.all in
+  let tc =
+    match W.Traffic.of_name "mixed" with
+    | Some t -> { t with W.Traffic.n_ops = 90; key_space = 64; preload = 24 }
+    | None -> Alcotest.fail "mixed traffic preset missing"
+  in
+  let c =
+    { (cfg ~prune:Prune.Policy.Exhaustive ~seed:1 ~n_ops:90) with
+      W.Engine.traffic = Some tc }
+  in
+  let batch = W.Engine.run ~cfg:c (e.buggy ()) in
+  let stream = W.Engine.run_stream ~cfg:(stream_cfg c) (e.buggy ()) in
+  Alcotest.(check int) "mismatches" batch.n_mismatch stream.n_mismatch;
+  Alcotest.(check int) "clusters" batch.n_clusters stream.n_clusters;
+  Alcotest.(check int) "images" batch.images_generated
+    stream.images_generated
+
+(* ---------- windowed ring trace unit tests ---------- *)
+
+let ring () = T.create ~ring_shift:4 ()  (* 16-event segments *)
+
+let add_n tr n =
+  for _ = 1 to n do
+    ignore
+      (T.add_load tr ~sid:(Nvm.Sid.intern "t:load") ~addr:0 ~len:8
+         ~cd:Nvm.Taint.empty ~op:0)
+  done
+
+let test_ring_retires () =
+  let tr = ring () in
+  add_n tr 100;
+  let r = T.retire_to tr ~target:(T.length tr - 32) in
+  Alcotest.(check bool) "retired some segments" true (r >= 3);
+  Alcotest.(check int) "floor advanced" (r * 16) (T.live_floor tr);
+  Alcotest.(check int) "length unaffected" 100 (T.length tr);
+  Alcotest.(check bool) "old tid not live" false (T.is_live tr 0);
+  Alcotest.(check bool) "recent tid live" true (T.is_live tr 99);
+  (match T.addr_at tr 0 with
+   | _ -> Alcotest.fail "retired access must raise"
+   | exception T.Retired _ -> ());
+  (* slot reuse: capacity stays bounded by the live window *)
+  add_n tr 200;
+  ignore (T.retire_to tr ~target:(T.length tr - 32));
+  Alcotest.(check bool) "slot capacity bounded"
+    true
+    (T.slot_capacity tr < T.length tr)
+
+let test_ring_pin_blocks_retirement () =
+  let tr = ring () in
+  add_n tr 100;
+  T.pin tr 3;  (* pins segment 0 *)
+  let r = T.retire_to tr ~target:(T.length tr - 16) in
+  Alcotest.(check int) "pinned head segment blocks retirement" 0 r;
+  Alcotest.(check int) "floor unmoved" 0 (T.live_floor tr);
+  T.unpin tr 3;
+  let r = T.retire_to tr ~target:(T.length tr - 16) in
+  Alcotest.(check bool) "unpinned: retirement proceeds" true (r > 0)
+
+(* A condition spanning the window boundary: a *newer* event whose taint
+   references an event in the oldest segment must keep that segment (and
+   therefore everything after it) resident. *)
+let test_ring_taint_spans_window () =
+  let tr = ring () in
+  let first =
+    T.add_load tr ~sid:(Nvm.Sid.intern "t:load") ~addr:0 ~len:8
+      ~cd:Nvm.Taint.empty ~op:0
+  in
+  add_n tr 60;
+  (* a store whose data dependency reaches back to tid 0 *)
+  ignore
+    (T.add_store_u64 tr ~sid:(Nvm.Sid.intern "t:store") ~addr:64 ~v:1
+       ~dd:(Nvm.Taint.singleton first) ~cd:Nvm.Taint.empty ~op:1);
+  add_n tr 40;
+  let r = T.retire_to tr ~target:(T.length tr - 16) in
+  Alcotest.(check int) "taint-referenced segment is pinned" 0 r;
+  Alcotest.(check int) "tid 0 still readable" 0 (T.addr_at tr first)
+
+let suite =
+  [ Alcotest.test_case "ring retires and recycles" `Quick test_ring_retires;
+    Alcotest.test_case "pin blocks retirement" `Quick
+      test_ring_pin_blocks_retirement;
+    Alcotest.test_case "spanning taint pins segment" `Quick
+      test_ring_taint_spans_window;
+    Alcotest.test_case "streaming counters move" `Slow test_stream_counters;
+    Alcotest.test_case "sample-policy parity" `Slow test_sample_policy_parity;
+    Alcotest.test_case "traffic generator parity" `Slow test_traffic_parity;
+    QCheck_alcotest.to_alcotest parity_prop ]

@@ -13,4 +13,5 @@ let () =
       ("obs", Test_obs.suite);
       ("frontend", Test_frontend.suite);
       ("prune", Test_prune.suite);
-      ("explain", Test_explain.suite) ]
+      ("explain", Test_explain.suite);
+      ("stream", Test_stream.suite) ]
